@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper via the drivers
+in :mod:`repro.experiments`, prints the regenerated rows (so the benchmark log
+doubles as the reproduced evaluation), and asserts the qualitative claim the
+artefact supports.  Heavy drivers are executed exactly once per benchmark
+(``rounds=1``) — the interesting measurement is the end-to-end regeneration
+time, not micro-timing stability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Execute an experiment driver once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table so it lands in the benchmark output log."""
+
+    def _show(result, max_rows: int | None = 40):
+        print()
+        print(result.table(max_rows=max_rows))
+        return result
+
+    return _show

@@ -1,0 +1,77 @@
+"""Explore 2D-CONV dataflows for a GoogLeNet-style layer.
+
+This example reproduces the workflow an accelerator designer would follow
+(Sections IV and VI-B/VI-C):
+
+1. pick a convolution layer,
+2. evaluate every Table III CONV dataflow on an 8x8 systolic array,
+3. run the pruned design-space exploration on top, and
+4. report which dataflow wins under a latency objective, and how the winner
+   changes when the scratchpad bandwidth is scarce.
+
+Run with::
+
+    python examples/conv_dataflow_exploration.py
+"""
+
+from repro.core import analyze
+from repro.core.latency import compute_latency
+from repro.arch.memory import MemoryHierarchy
+from repro.dataflows import dataflows_for
+from repro.dse import DesignSpaceExplorer, pruned_candidates
+from repro.experiments.common import make_arch
+from repro.tensor import conv2d
+
+
+def evaluate_catalog(operation, architecture):
+    """Analyse every catalog CONV dataflow that fits an 8x8 array."""
+    reports = []
+    for entry in dataflows_for("conv2d"):
+        if entry.preferred_pe_dims != (8, 8):
+            continue
+        report = analyze(operation, entry.build(), architecture)
+        reports.append(report)
+        print(f"  {report.dataflow:24s} latency={report.latency_cycles:>9.0f}  "
+              f"util={report.average_pe_utilization:5.1%}  "
+              f"SBW={report.scratchpad_bandwidth_bits():6.1f} bit/cycle")
+    return reports
+
+
+def main() -> None:
+    # An inception-3a style layer, shrunk to keep the example fast.
+    operation = conv2d(32, 32, 14, 14, 3, 3, name="incpt-3a-small")
+    architecture = make_arch(pe_dims=(8, 8), interconnect="2d-systolic",
+                             bandwidth_bits=128)
+    print(f"layer {operation}: {operation.num_instances()} MACs on {architecture}")
+    print("\nTable III dataflows:")
+    reports = evaluate_catalog(operation, architecture)
+
+    best = min(reports, key=lambda r: r.latency_cycles)
+    print(f"\nbest catalog dataflow: {best.dataflow} ({best.latency_cycles:.0f} cycles)")
+
+    # How does the ranking change when bandwidth is scarce?  The volumes are
+    # bandwidth independent, so the latency can be re-derived per bandwidth.
+    print("\nlatency at different scratchpad bandwidths (bit/cycle):")
+    for bandwidth in (160, 96, 64):
+        memory = MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth)
+        ranked = sorted(
+            reports,
+            key=lambda r: compute_latency(r.utilization, r.volumes,
+                                          ["A", "B"], ["Y"], memory).latency,
+        )
+        winner = ranked[0]
+        latency = compute_latency(winner.utilization, winner.volumes,
+                                  ["A", "B"], ["Y"], memory).latency
+        print(f"  {bandwidth:>4} bit/cycle -> {winner.dataflow:24s} {latency:9.0f} cycles")
+
+    # Finally, let the explorer search the pruned relation-centric space.
+    print("\npruned design-space exploration (latency objective):")
+    explorer = DesignSpaceExplorer(operation, architecture, objective="latency")
+    exploration = explorer.explore(
+        pruned_candidates(operation, pe_dims=(8, 8), allow_packing=True, max_candidates=30)
+    )
+    print(exploration.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Accuracy study: analytical model vs reference simulator vs polynomial baseline.
+
+Reproduces the Figure 11 methodology on one AlexNet layer: the Eyeriss-style
+row-stationary dataflow — which packs the filter row and a channel slice onto
+one PE axis via the affine transformation ``ry + RY * (c mod 4)`` — is
+
+* executed by the reference spacetime simulator (ground truth),
+* estimated by the TENET analyzer, and
+* estimated by the data-centric polynomial baseline.
+
+Run with::
+
+    python examples/eyeriss_accuracy_study.py
+"""
+
+from repro.core import analyze
+from repro.dataflows.conv2d import ryoy_p_eyeriss
+from repro.experiments.common import make_arch
+from repro.maestro import DataCentricMapping, MaestroModel, SpatialMap, TemporalMap
+from repro.sim import simulate
+from repro.workloads import alexnet, scale_layer
+
+
+def main() -> None:
+    layer, factor = scale_layer(alexnet().layer("CONV3"), max_instances=200_000)
+    operation = layer.to_op()
+    print(f"AlexNet CONV3 scaled by {factor:.0f}x -> {operation.num_instances()} MACs")
+
+    dataflow = ryoy_p_eyeriss(rows=12, cols=14, filter_rows=layer.filter_y)
+    architecture = make_arch(pe_dims=(12, 14), interconnect="mesh", bandwidth_bits=256,
+                             name="eyeriss-like-12x14")
+    print("dataflow:", dataflow)
+    print("architecture:", architecture)
+    print()
+
+    golden = simulate(operation, dataflow, architecture)
+    tenet = analyze(operation, dataflow, architecture)
+    baseline = MaestroModel(num_pes=12 * 14, bandwidth_bits_per_cycle=256).analyze(
+        operation,
+        DataCentricMapping(
+            "row-stationary (data-centric)",
+            [TemporalMap("k"), TemporalMap("c"), SpatialMap("oy"), SpatialMap("ry"),
+             TemporalMap("rx"), TemporalMap("ox")],
+        ),
+    )
+
+    def err(estimate, reference):
+        return abs(estimate - reference) / reference * 100 if reference else 0.0
+
+    print(f"{'':28s}{'latency (cycles)':>18s}{'avg PE util':>14s}")
+    print(f"{'reference simulator':28s}{golden.total_cycles:>18.0f}"
+          f"{golden.average_pe_utilization:>14.1%}")
+    print(f"{'TENET analytical':28s}{tenet.latency_cycles:>18.0f}"
+          f"{tenet.average_pe_utilization:>14.1%}"
+          f"   ({err(tenet.latency_cycles, golden.total_cycles):.1f}% latency error)")
+    print(f"{'data-centric polynomial':28s}{baseline.latency_cycles:>18.0f}"
+          f"{baseline.average_pe_utilization:>14.1%}"
+          f"   ({err(baseline.latency_cycles, golden.total_cycles):.1f}% latency error)")
+
+    print("\nper-tensor reuse factors (TENET):")
+    for tensor, volume in tenet.volumes.items():
+        print(f"  {volume}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""TENET reproduction: relation-centric modeling of tensor dataflow.
+
+This package reproduces the system described in *TENET: A Framework for
+Modeling Tensor Dataflow Based on Relation-centric Notation* (ISCA 2021).
+
+The public API is organised by subsystem:
+
+``repro.isl``
+    Integer sets and quasi-affine relations with an ISL-like string syntax,
+    plus vectorised enumeration and counting (substitute for ISL/Barvinok).
+``repro.tensor``
+    Loop-nest IR for tensor operations and kernel factories (GEMM, 2D-CONV,
+    MTTKRP, MMc, Jacobi-2D) plus C-like and einsum-like frontends.
+``repro.arch``
+    Spatial architecture specifications: PE arrays, interconnect topologies,
+    memory, energy, and a repository of common accelerators.
+``repro.core``
+    The relation-centric notation (dataflow, data assignment, interconnect,
+    spacetime maps) and the performance model (volumes, latency, bandwidth,
+    utilisation, energy).
+``repro.dataflows``
+    The named dataflow catalog of Table III.
+``repro.maestro``
+    A data-centric (MAESTRO-style) notation and polynomial cost model used
+    as the comparison baseline.
+``repro.sim``
+    A reference spacetime simulator used as ground truth for accuracy
+    experiments.
+``repro.dse``
+    Dataflow design-space exploration.
+``repro.workloads``
+    Layer tables for the real-world applications in the evaluation.
+``repro.experiments``
+    One module per paper table/figure that regenerates its rows or series.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

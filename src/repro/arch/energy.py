@@ -1,0 +1,52 @@
+"""Per-action energy table.
+
+Table I lists "latency / energy modeling" as a TENET capability.  The energy
+model charges one entry of this table per action; the default values follow
+the widely used Eyeriss-style relative costs (register ~1x, neighbour NoC hop
+~2x, scratchpad ~6x, DRAM ~200x the cost of a MAC-scale access) expressed in
+picojoules for a 16-bit word at 65nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy per action, in picojoules."""
+
+    mac_pj: float = 0.5
+    register_access_pj: float = 0.5
+    noc_hop_pj: float = 1.0
+    scratchpad_access_pj: float = 3.0
+    dram_access_pj: float = 100.0
+
+    def __post_init__(self):
+        for name in ("mac_pj", "register_access_pj", "noc_hop_pj",
+                     "scratchpad_access_pj", "dram_access_pj"):
+            if getattr(self, name) < 0:
+                raise ArchitectureError(f"energy entry {name} must be non-negative")
+
+    def scaled(self, factor: float) -> "EnergyTable":
+        """Uniformly scale the table (e.g. to model a different technology node)."""
+        if factor <= 0:
+            raise ArchitectureError("scale factor must be positive")
+        return EnergyTable(
+            mac_pj=self.mac_pj * factor,
+            register_access_pj=self.register_access_pj * factor,
+            noc_hop_pj=self.noc_hop_pj * factor,
+            scratchpad_access_pj=self.scratchpad_access_pj * factor,
+            dram_access_pj=self.dram_access_pj * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mac": self.mac_pj,
+            "register": self.register_access_pj,
+            "noc_hop": self.noc_hop_pj,
+            "scratchpad": self.scratchpad_access_pj,
+            "dram": self.dram_access_pj,
+        }

@@ -1,0 +1,342 @@
+"""Interconnection relations between PEs (Definition 3).
+
+Each topology builds the relation ``{ PE[p1] -> PE[p2] : conditions }`` for a
+given PE array and exposes the *predecessor* adjacency used by the
+performance model: for every PE, the set of PEs that can forward data to it.
+
+The paper models three topologies explicitly (Section IV-C)::
+
+    2D-systolic : (i' = i, j' = j + 1) or (i' = i + 1, j' = j)
+    Mesh        : abs(i' - i) <= 1 and abs(j' - j) <= 1
+    1D-multicast: abs(i' - i) <= 3        (groups of 4 PEs share a wire)
+
+plus a 1-D systolic variant and a reduction tree (MAERI) used in the
+evaluation.  Systolic and mesh links move data one hop per cycle, so their
+reuse *time interval* is 1; multicast links share a wire, so their reuse
+happens in the same cycle (time interval 0) — see Section V-A.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ArchitectureError
+from repro.isl.constraint import Constraint
+from repro.isl.expr import var
+from repro.isl.imap import IntMap
+from repro.isl.space import Space
+from repro.isl.union import UnionMap
+from repro.arch.pe_array import PEArray
+
+Coord = tuple[int, ...]
+
+
+class Interconnect(ABC):
+    """Base class for interconnect topologies."""
+
+    #: Human-readable topology name (used by the catalog and reports).
+    name: str = "abstract"
+
+    #: Cycles a datum needs to traverse one link.  Reuse through the link is
+    #: possible between time-stamps ``t`` and ``t + time_interval``; multicast
+    #: wires have interval 0 (same-cycle reuse).
+    time_interval: int = 1
+
+    #: Energy-model hop distance of one link (relative units).
+    hop_distance: int = 1
+
+    @abstractmethod
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        """True when PE ``src`` can forward data to PE ``dst`` (src != dst)."""
+
+    @abstractmethod
+    def relation(self, array: PEArray) -> UnionMap:
+        """The interconnection relation for the given PE array."""
+
+    # -- derived helpers -----------------------------------------------------
+
+    def predecessors(self, array: PEArray) -> dict[Coord, list[Coord]]:
+        """For every PE, the PEs that can send data *to* it (excluding itself)."""
+        coords = list(array.coords())
+        result: dict[Coord, list[Coord]] = {c: [] for c in coords}
+        for dst in coords:
+            for src in coords:
+                if src != dst and self.connected(src, dst):
+                    result[dst].append(src)
+        return result
+
+    def successors(self, array: PEArray) -> dict[Coord, list[Coord]]:
+        """For every PE, the PEs it can send data to."""
+        coords = list(array.coords())
+        result: dict[Coord, list[Coord]] = {c: [] for c in coords}
+        for src in coords:
+            for dst in coords:
+                if src != dst and self.connected(src, dst):
+                    result[src].append(dst)
+        return result
+
+    def degree(self, array: PEArray) -> float:
+        """Average number of incoming links per PE (a complexity proxy)."""
+        preds = self.predecessors(array)
+        if not preds:
+            return 0.0
+        return sum(len(v) for v in preds.values()) / len(preds)
+
+    def _spaces(self, array: PEArray) -> tuple[Space, Space]:
+        in_space = array.space
+        out_space = in_space.primed()
+        return in_space, out_space
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _pad(coords: Coord, rank: int) -> Coord:
+    """Treat 1-D coordinates as (row 0, column) when a 2-D view is needed."""
+    if len(coords) >= rank:
+        return coords
+    return (0,) * (rank - len(coords)) + tuple(coords)
+
+
+@dataclass
+class Systolic1D(Interconnect):
+    """Unidirectional links along the innermost array dimension only."""
+
+    name: str = "1d-systolic"
+    time_interval: int = 1
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        *src_outer, src_last = _pad(src, 2)
+        *dst_outer, dst_last = _pad(dst, 2)
+        return tuple(src_outer) == tuple(dst_outer) and dst_last == src_last + 1
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        last_in = in_space.dims[-1]
+        last_out = out_space.dims[-1]
+        constraints = [
+            Constraint.eq(var(last_out), var(last_in) + 1),
+        ]
+        for dim_in, dim_out in zip(in_space.dims[:-1], out_space.dims[:-1]):
+            constraints.append(Constraint.eq(var(dim_out), var(dim_in)))
+        piece = IntMap(
+            in_space, out_space, constraints=constraints,
+            domain=array.domain(),
+            range_=_renamed_domain(array, out_space),
+        )
+        return UnionMap([piece])
+
+
+@dataclass
+class Systolic2D(Interconnect):
+    """TPU-style 2-D systolic links: right neighbour or down neighbour."""
+
+    name: str = "2d-systolic"
+    time_interval: int = 1
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        si, sj = _pad(src, 2)[-2:]
+        di, dj = _pad(dst, 2)[-2:]
+        return (di == si and dj == sj + 1) or (di == si + 1 and dj == sj)
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        if array.rank == 1:
+            return Systolic1D().relation(array)
+        i, j = in_space.dims[-2], in_space.dims[-1]
+        oi, oj = out_space.dims[-2], out_space.dims[-1]
+        right = IntMap(
+            in_space, out_space,
+            constraints=[Constraint.eq(var(oi), var(i)), Constraint.eq(var(oj), var(j) + 1)],
+            domain=array.domain(), range_=_renamed_domain(array, out_space),
+        )
+        down = IntMap(
+            in_space, out_space,
+            constraints=[Constraint.eq(var(oi), var(i) + 1), Constraint.eq(var(oj), var(j))],
+            domain=array.domain(), range_=_renamed_domain(array, out_space),
+        )
+        return UnionMap([right, down])
+
+
+@dataclass
+class Mesh(Interconnect):
+    """Mesh NoC: every PE talks to its (up to 8) surrounding neighbours."""
+
+    name: str = "mesh"
+    time_interval: int = 1
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        src = _pad(src, 2)
+        dst = _pad(dst, 2)
+        return all(abs(d - s) <= 1 for s, d in zip(src, dst))
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        constraints = []
+        for dim_in, dim_out in zip(in_space.dims, out_space.dims):
+            delta = var(dim_out) - var(dim_in)
+            constraints.append(Constraint.le(delta.abs(), 1))
+        piece = IntMap(
+            in_space, out_space, constraints=constraints,
+            domain=array.domain(), range_=_renamed_domain(array, out_space),
+        )
+        return UnionMap([piece])
+
+
+@dataclass
+class Multicast1D(Interconnect):
+    """Multicast wires shared by groups of neighbouring PEs (same-cycle reuse)."""
+
+    name: str = "multicast"
+    time_interval: int = 0
+    reach: int = 3
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        src = _pad(src, 2)
+        dst = _pad(dst, 2)
+        same_row = src[:-1] == dst[:-1]
+        return same_row and abs(dst[-1] - src[-1]) <= self.reach
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        last_in, last_out = in_space.dims[-1], out_space.dims[-1]
+        constraints = [Constraint.le((var(last_out) - var(last_in)).abs(), self.reach)]
+        for dim_in, dim_out in zip(in_space.dims[:-1], out_space.dims[:-1]):
+            constraints.append(Constraint.eq(var(dim_out), var(dim_in)))
+        piece = IntMap(
+            in_space, out_space, constraints=constraints,
+            domain=array.domain(), range_=_renamed_domain(array, out_space),
+        )
+        return UnionMap([piece])
+
+
+@dataclass
+class Multicast2D(Interconnect):
+    """Row and column broadcast wires (NVDLA-style operand distribution).
+
+    A PE can receive, in the same cycle, data held by any PE in its row or in
+    its column (within ``reach`` hops).  This is the strongest interconnect the
+    non-skewed output-stationary dataflows rely on.
+    """
+
+    name: str = "2d-multicast"
+    time_interval: int = 0
+    reach: int = 7
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        src = _pad(src, 2)
+        dst = _pad(dst, 2)
+        same_row = src[:-1] == dst[:-1] and abs(dst[-1] - src[-1]) <= self.reach
+        same_col = src[-1] == dst[-1] and all(
+            abs(a - b) <= self.reach for a, b in zip(src[:-1], dst[:-1])
+        )
+        return same_row or same_col
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        last_in, last_out = in_space.dims[-1], out_space.dims[-1]
+        row_constraints = [Constraint.le((var(last_out) - var(last_in)).abs(), self.reach)]
+        col_constraints = [Constraint.eq(var(last_out), var(last_in))]
+        for dim_in, dim_out in zip(in_space.dims[:-1], out_space.dims[:-1]):
+            row_constraints.append(Constraint.eq(var(dim_out), var(dim_in)))
+            col_constraints.append(Constraint.le((var(dim_out) - var(dim_in)).abs(), self.reach))
+        pieces = [
+            IntMap(in_space, out_space, constraints=row_constraints,
+                   domain=array.domain(), range_=_renamed_domain(array, out_space)),
+            IntMap(in_space, out_space, constraints=col_constraints,
+                   domain=array.domain(), range_=_renamed_domain(array, out_space)),
+        ]
+        return UnionMap(pieces)
+
+
+@dataclass
+class ReductionTree(Interconnect):
+    """MAERI-style reduction tree over a 1-D array of multipliers.
+
+    Leaves within the same reduction group share an adder-tree path, so data
+    forwarded between them is modeled as same-cycle multicast reuse within the
+    group (the paper treats MAERI's multipliers as PEs connected via multicast
+    interconnection, Section VI-E).
+    """
+
+    name: str = "reduction-tree"
+    time_interval: int = 0
+    group_size: int = 8
+
+    def __post_init__(self):
+        if self.group_size <= 1:
+            raise ArchitectureError("reduction-tree group size must exceed 1")
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        src = _pad(src, 2)
+        dst = _pad(dst, 2)
+        if src[:-1] != dst[:-1]:
+            return False
+        return src[-1] // self.group_size == dst[-1] // self.group_size
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        last_in, last_out = in_space.dims[-1], out_space.dims[-1]
+        constraints = [
+            Constraint.eq(var(last_out) // self.group_size, var(last_in) // self.group_size)
+        ]
+        for dim_in, dim_out in zip(in_space.dims[:-1], out_space.dims[:-1]):
+            constraints.append(Constraint.eq(var(dim_out), var(dim_in)))
+        piece = IntMap(
+            in_space, out_space, constraints=constraints,
+            domain=array.domain(), range_=_renamed_domain(array, out_space),
+        )
+        return UnionMap([piece])
+
+
+@dataclass
+class NoInterconnect(Interconnect):
+    """No PE-to-PE links: every operand must come from the scratchpad."""
+
+    name: str = "none"
+    time_interval: int = 1
+
+    def connected(self, src: Coord, dst: Coord) -> bool:
+        return False
+
+    def relation(self, array: PEArray) -> UnionMap:
+        in_space, out_space = self._spaces(array)
+        piece = IntMap(
+            in_space, out_space,
+            constraints=[Constraint.eq(var(in_space.dims[0]), var(in_space.dims[0]) + 1)],
+            domain=array.domain(), range_=_renamed_domain(array, out_space),
+        )
+        return UnionMap([piece])
+
+
+def _renamed_domain(array: PEArray, out_space: Space):
+    """The PE domain expressed over the primed (output-side) dimension names."""
+    bounds = {dim: (0, extent) for dim, extent in zip(out_space.dims, array.dims)}
+    from repro.isl.iset import IntSet
+
+    return IntSet.box(out_space, bounds)
+
+
+_TOPOLOGIES: dict[str, type[Interconnect]] = {
+    "1d-systolic": Systolic1D,
+    "2d-systolic": Systolic2D,
+    "systolic": Systolic2D,
+    "mesh": Mesh,
+    "multicast": Multicast1D,
+    "1d-multicast": Multicast1D,
+    "2d-multicast": Multicast2D,
+    "reduction-tree": ReductionTree,
+    "none": NoInterconnect,
+}
+
+
+def make_interconnect(name: str, **kwargs) -> Interconnect:
+    """Build an interconnect by name (``"2d-systolic"``, ``"mesh"``, ...)."""
+    key = name.lower().replace("_", "-")
+    if key not in _TOPOLOGIES:
+        raise ArchitectureError(
+            f"unknown interconnect {name!r}; available: {sorted(set(_TOPOLOGIES))}"
+        )
+    return _TOPOLOGIES[key](**kwargs)

@@ -1,0 +1,87 @@
+"""Processing-element arrays."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ArchitectureError
+from repro.isl.iset import IntSet
+from repro.isl.space import Space
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """A rectangular array of processing elements.
+
+    Each PE holds one MAC unit (the paper's simplifying assumption in
+    Section II-A) and a small register file.  ``dims`` gives the extent of
+    every array dimension, e.g. ``(8, 8)`` for an 8x8 array or ``(64,)`` for a
+    1-D array of 64 PEs.
+    """
+
+    dims: tuple[int, ...]
+    name: str = "PE"
+    macs_per_pe: int = 1
+    registers_per_pe: int = 16
+
+    def __post_init__(self):
+        if not self.dims:
+            raise ArchitectureError("a PE array needs at least one dimension")
+        if any(int(d) <= 0 for d in self.dims):
+            raise ArchitectureError(f"PE array dimensions must be positive, got {self.dims}")
+        object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+        if self.macs_per_pe <= 0:
+            raise ArchitectureError("macs_per_pe must be positive")
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        """Total number of PEs."""
+        total = 1
+        for extent in self.dims:
+            total *= extent
+        return total
+
+    @property
+    def total_macs(self) -> int:
+        return self.size * self.macs_per_pe
+
+    def dim_names(self) -> tuple[str, ...]:
+        return tuple(f"p{i}" for i in range(self.rank))
+
+    @property
+    def space(self) -> Space:
+        return Space(self.name, self.dim_names())
+
+    def domain(self) -> IntSet:
+        """The PE domain set, e.g. ``{ PE[p0, p1] : 0 <= p0, p1 < 8 }``."""
+        bounds = {name: (0, extent) for name, extent in zip(self.dim_names(), self.dims)}
+        return IntSet.box(self.space, bounds)
+
+    def coords(self) -> Iterator[tuple[int, ...]]:
+        """Iterate every PE coordinate tuple in row-major order."""
+        return itertools.product(*(range(extent) for extent in self.dims))
+
+    def contains(self, coords: tuple[int, ...]) -> bool:
+        return len(coords) == self.rank and all(
+            0 <= value < extent for value, extent in zip(coords, self.dims)
+        )
+
+    def linear_index(self, coords: tuple[int, ...]) -> int:
+        """Row-major linear index of a PE (used by the simulator and plots)."""
+        if not self.contains(coords):
+            raise ArchitectureError(f"PE coordinate {coords} outside array {self.dims}")
+        index = 0
+        for value, extent in zip(coords, self.dims):
+            index = index * extent + value
+        return index
+
+    def __str__(self) -> str:
+        return f"{self.name}[{'x'.join(str(d) for d in self.dims)}]"

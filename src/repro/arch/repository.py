@@ -1,0 +1,116 @@
+"""Repository of common spatial architectures (Figure 2's "common spatial architecture repo").
+
+Each factory returns an :class:`~repro.arch.spec.ArchSpec` resembling a
+well-known accelerator family.  Sizes default to the configurations used in
+the paper's experiments but can be overridden.
+"""
+
+from __future__ import annotations
+
+from repro.arch.energy import EnergyTable
+from repro.arch.interconnect import (
+    Mesh,
+    Multicast1D,
+    ReductionTree,
+    Systolic1D,
+    Systolic2D,
+)
+from repro.arch.memory import MemoryHierarchy
+from repro.arch.pe_array import PEArray
+from repro.arch.spec import ArchSpec
+
+
+def tpu_like(rows: int = 8, cols: int = 8, bandwidth_bits: float = 128.0) -> ArchSpec:
+    """A TPU-style 2-D systolic array (one MAC per PE)."""
+    return ArchSpec(
+        pe_array=PEArray((rows, cols)),
+        interconnect=Systolic2D(),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        name=f"tpu-like-{rows}x{cols}",
+    )
+
+
+def eyeriss_like(rows: int = 12, cols: int = 14, bandwidth_bits: float = 128.0) -> ArchSpec:
+    """An Eyeriss-style array: 12x14 PEs with neighbour (mesh) forwarding.
+
+    Eyeriss' row-stationary dataflow relies on diagonal reuse of the input
+    feature map, which systolic links cannot express but a mesh can
+    (Section VI-D); the paper's MAESTRO comparison also assumes every PE can
+    talk to its adjacent PEs.
+    """
+    return ArchSpec(
+        pe_array=PEArray((rows, cols)),
+        interconnect=Mesh(),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        name=f"eyeriss-like-{rows}x{cols}",
+    )
+
+
+def shidiannao_like(rows: int = 8, cols: int = 8, bandwidth_bits: float = 128.0) -> ArchSpec:
+    """A ShiDianNao-style output-stationary array with mesh neighbour links."""
+    return ArchSpec(
+        pe_array=PEArray((rows, cols)),
+        interconnect=Mesh(),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        name=f"shidiannao-like-{rows}x{cols}",
+    )
+
+
+def maeri_like(multipliers: int = 64, group_size: int = 8, bandwidth_bits: float = 256.0) -> ArchSpec:
+    """A MAERI-style 1-D array of multipliers under a reconfigurable reduction tree."""
+    return ArchSpec(
+        pe_array=PEArray((multipliers,)),
+        interconnect=ReductionTree(group_size=group_size),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        name=f"maeri-like-{multipliers}",
+    )
+
+
+def nvdla_like(rows: int = 8, cols: int = 8, bandwidth_bits: float = 128.0) -> ArchSpec:
+    """An NVDLA-style array: output channels x input channels with multicast input reuse."""
+    return ArchSpec(
+        pe_array=PEArray((rows, cols)),
+        interconnect=Multicast1D(reach=cols - 1),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        name=f"nvdla-like-{rows}x{cols}",
+    )
+
+
+def mesh_cgra(rows: int = 8, cols: int = 8, bandwidth_bits: float = 128.0) -> ArchSpec:
+    """A DySER/Plasticine-style CGRA with a full mesh NoC."""
+    return ArchSpec(
+        pe_array=PEArray((rows, cols)),
+        interconnect=Mesh(),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        name=f"mesh-cgra-{rows}x{cols}",
+    )
+
+
+def dot_product_engine(lanes: int = 64, bandwidth_bits: float = 256.0) -> ArchSpec:
+    """A DianNao-style vector dot-product engine: 1-D multicast over all lanes."""
+    return ArchSpec(
+        pe_array=PEArray((lanes,)),
+        interconnect=Multicast1D(reach=lanes - 1),
+        memory=MemoryHierarchy.default(scratchpad_bandwidth_bits=bandwidth_bits),
+        energy=EnergyTable(),
+        name=f"dot-product-{lanes}",
+    )
+
+
+REPOSITORY = {
+    "tpu": tpu_like,
+    "eyeriss": eyeriss_like,
+    "shidiannao": shidiannao_like,
+    "maeri": maeri_like,
+    "nvdla": nvdla_like,
+    "mesh-cgra": mesh_cgra,
+    "dot-product": dot_product_engine,
+}
+
+
+def make_architecture(name: str, **kwargs) -> ArchSpec:
+    """Build a repository architecture by name."""
+    key = name.lower()
+    if key not in REPOSITORY:
+        raise KeyError(f"unknown architecture {name!r}; available: {sorted(REPOSITORY)}")
+    return REPOSITORY[key](**kwargs)

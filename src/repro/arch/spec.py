@@ -1,0 +1,67 @@
+"""Complete spatial-architecture specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.energy import EnergyTable
+from repro.arch.interconnect import Interconnect, Systolic2D
+from repro.arch.memory import MemoryHierarchy
+from repro.arch.pe_array import PEArray
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """PE array + interconnect + memory hierarchy + energy table.
+
+    This is the "hardware specification" input of Figure 2.  The defaults
+    describe the 8x8 2D-systolic configuration used for most of the paper's
+    kernel-level experiments.
+    """
+
+    pe_array: PEArray = field(default_factory=lambda: PEArray((8, 8)))
+    interconnect: Interconnect = field(default_factory=Systolic2D)
+    memory: MemoryHierarchy = field(default_factory=MemoryHierarchy.default)
+    energy: EnergyTable = field(default_factory=EnergyTable)
+    frequency_mhz: float = 500.0
+    name: str = "spatial-arch"
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_array.size
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.pe_array.total_macs
+
+    def ideal_latency(self, mac_count: int) -> float:
+        """Cycles needed at 100% utilisation (the normalisation of Figure 7)."""
+        return mac_count / self.peak_macs_per_cycle
+
+    @property
+    def scratchpad_bandwidth_bits(self) -> float:
+        return self.memory.scratchpad.bandwidth_bits_per_cycle
+
+    # -- variations ----------------------------------------------------------------
+
+    def with_bandwidth(self, bandwidth_bits: float) -> "ArchSpec":
+        """Copy with a different scratchpad bandwidth (Figure 6's sweep axis)."""
+        return replace(self, memory=self.memory.with_scratchpad_bandwidth(bandwidth_bits))
+
+    def with_interconnect(self, interconnect: Interconnect) -> "ArchSpec":
+        return replace(self, interconnect=interconnect)
+
+    def with_pe_array(self, pe_array: PEArray) -> "ArchSpec":
+        return replace(self, pe_array=pe_array)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.pe_array} PEs, {self.interconnect.name} interconnect, "
+            f"{self.memory.scratchpad.bandwidth_bits_per_cycle:g} bit/cycle scratchpad, "
+            f"{self.memory.word_bits}-bit words"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+Examples::
+
+    tenet catalog
+    tenet analyze --kernel gemm --sizes 64 64 64 --dataflow "(IJ-P | J,IJK-T)" \
+        --pe 8 8 --interconnect 2d-systolic --bandwidth 128
+    tenet experiment fig1 design-space table3
+    tenet experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro._version import __version__
+from repro.core.analyzer import analyze
+from repro.dataflows.catalog import all_entries, get_dataflow
+from repro.experiments import (
+    design_space_size,
+    dse_experiment,
+    fig1_reuse_example,
+    fig6_latency_bandwidth,
+    fig7_large_apps,
+    fig8_runtime,
+    fig9_metrics,
+    fig10_bandwidth,
+    fig11_accuracy,
+    fig12_reuse,
+    table1_features,
+    table3_notations,
+)
+from repro.experiments.common import make_arch
+from repro.tensor.kernels import make_kernel
+
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "table1": table1_features.run,
+    "fig1": fig1_reuse_example.run,
+    "design-space": design_space_size.run,
+    "table3": table3_notations.run,
+    "fig6": fig6_latency_bandwidth.run,
+    "fig7": fig7_large_apps.run,
+    "fig8": fig8_runtime.run,
+    "fig9": fig9_metrics.run,
+    "fig10": fig10_bandwidth.run,
+    "fig11": fig11_accuracy.run,
+    "fig12": fig12_reuse.run,
+    "dse": dse_experiment.run,
+}
+
+
+def _cmd_catalog(_: argparse.Namespace) -> int:
+    for entry in all_entries():
+        marker = "data-centric ok" if entry.data_centric_expressible else "TENET-only"
+        pe = "x".join(str(d) for d in entry.preferred_pe_dims)
+        print(f"{entry.kernel:9s} {entry.name:24s} [{pe:>6s} PEs] [{marker}] {entry.description}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    op = make_kernel(args.kernel, args.sizes)
+    dataflow = get_dataflow(args.kernel, args.dataflow)
+    arch = make_arch(
+        pe_dims=tuple(args.pe),
+        interconnect=args.interconnect,
+        bandwidth_bits=args.bandwidth,
+    )
+    report = analyze(op, dataflow, arch, max_instances=args.max_instances)
+    print(report.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list or not args.names:
+        print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
+        return 0
+    for name in args.names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}")
+            return 1
+        result = EXPERIMENTS[name]()
+        print(result.table())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tenet",
+        description="TENET: relation-centric tensor dataflow modeling (ISCA 2021 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"tenet {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    catalog = subparsers.add_parser("catalog", help="list the Table III dataflow catalog")
+    catalog.set_defaults(handler=_cmd_catalog)
+
+    analyze_cmd = subparsers.add_parser("analyze", help="analyze one dataflow")
+    analyze_cmd.add_argument("--kernel", required=True,
+                             help="gemm, conv2d, mttkrp, mmc, jacobi2d, conv1d")
+    analyze_cmd.add_argument("--sizes", type=int, nargs="+", required=True,
+                             help="loop extents, e.g. 64 64 64 for GEMM")
+    analyze_cmd.add_argument("--dataflow", required=True,
+                             help="catalog name, e.g. '(IJ-P | J,IJK-T)'")
+    analyze_cmd.add_argument("--pe", type=int, nargs="+", default=[8, 8])
+    analyze_cmd.add_argument("--interconnect", default="2d-systolic")
+    analyze_cmd.add_argument("--bandwidth", type=float, default=128.0)
+    analyze_cmd.add_argument("--max-instances", type=int, default=8_000_000)
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    experiment = subparsers.add_parser("experiment", help="run evaluation experiments")
+    experiment.add_argument("names", nargs="*", help="experiment names (see --list)")
+    experiment.add_argument("--list", action="store_true", help="list available experiments")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 0
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,289 @@
+"""The TENET analyzer: from (operation, dataflow, architecture) to metrics.
+
+The analyzer materialises the relations of Section IV for a bounded loop nest
+and computes every Section V metric:
+
+1. stream the iteration domain and evaluate the space-stamp and time-stamp
+   expressions (the dataflow relation Theta);
+2. rank the distinct time-stamps in lexicographic order — this linearises the
+   execution sequence exactly as the lexicographic comparison of Definition 1;
+3. derive PE-utilization statistics and the compute delay (Equation 8);
+4. for every tensor, enumerate the data assignment relation (Definition 2) and
+   count the Table II volumes against the spacetime map induced by the
+   interconnection relation (Definitions 3 and 4);
+5. combine volumes into latency (Equation 7), bandwidth (Equations 9 and 10)
+   and energy.
+
+The role ISL/Barvinok play in the paper — representing relations and counting
+them — is carried by :mod:`repro.isl` plus the vectorised counting here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.core.bandwidth import compute_bandwidth
+from repro.core.dataflow import Dataflow
+from repro.core.energy_model import compute_energy
+from repro.core.latency import compute_latency
+from repro.core.metrics import PerformanceReport
+from repro.core.spacetime import SpacetimeMap
+from repro.core.utilization import compute_utilization
+from repro.core.volumes import VolumeMetrics, compute_volume_metrics
+from repro.errors import DataflowError, ModelError
+from repro.isl.enumeration import chunk_length
+from repro.tensor.operation import TensorOp
+
+
+@dataclass
+class _TensorColumns:
+    """Per-reference element-coordinate bounds of one tensor (shared radix)."""
+
+    bounds: list[tuple[int, int]]
+
+    @property
+    def extent(self) -> int:
+        """Exclusive upper bound of the mixed-radix element keys."""
+        total = 1
+        for lo, hi in self.bounds:
+            total *= max(1, hi - lo + 1)
+        return total
+
+    def encode(self, coords: np.ndarray) -> np.ndarray:
+        keys = np.zeros(coords.shape[0], dtype=np.int64)
+        scale = 1
+        for column, (lo, hi) in enumerate(self.bounds):
+            extent = max(1, hi - lo + 1)
+            keys += (coords[:, column] - lo) * scale
+            scale *= extent
+        return keys
+
+    def encode_columns(self, columns: Sequence[np.ndarray]) -> np.ndarray:
+        """Encode per-coordinate arrays without stacking them first."""
+        keys: np.ndarray | None = None
+        scale = 1
+        for column, (lo, hi) in zip(columns, self.bounds):
+            extent = max(1, hi - lo + 1)
+            term = (column.astype(np.int64) - lo) * scale
+            keys = term if keys is None else keys + term
+            scale *= extent
+        if keys is None:
+            return np.zeros(0, dtype=np.int64)
+        return keys
+
+
+class TenetAnalyzer:
+    """Analyse one dataflow for one tensor operation on one architecture."""
+
+    def __init__(
+        self,
+        op: TensorOp,
+        dataflow: Dataflow,
+        arch: ArchSpec,
+        *,
+        max_instances: int = 32_000_000,
+        chunk_size: int = 1 << 20,
+        validate: bool = False,
+        temporal_interval: int = 1,
+    ):
+        self.op = op
+        self.dataflow = dataflow.bind(op)
+        self.arch = arch
+        self.max_instances = int(max_instances)
+        self.chunk_size = int(chunk_size)
+        self.should_validate = validate
+        self.temporal_interval = int(temporal_interval)
+
+    # -- public API -------------------------------------------------------------
+
+    def analyze(self) -> PerformanceReport:
+        """Run the full analysis and return a :class:`PerformanceReport`."""
+        started = time.perf_counter()
+        notes: list[str] = []
+
+        box = self.op.domain.box_size()
+        if box > self.max_instances:
+            raise ModelError(
+                f"iteration domain has up to {box} instances, above the analyzer cap of "
+                f"{self.max_instances}; scale the workload (repro.workloads.scaling) or "
+                "raise max_instances"
+            )
+
+        if self.should_validate:
+            validation = self.dataflow.validate(self.op, self.arch.pe_array, self.chunk_size)
+            if not validation.is_valid:
+                raise DataflowError(
+                    f"dataflow {self.dataflow.name!r} is invalid for {self.op.name}: "
+                    + "; ".join(validation.messages)
+                )
+            notes.extend(validation.messages)
+
+        pe_lin, t_rank, element_keys, element_extents = self._materialize_relations()
+        num_pes = self.arch.pe_array.size
+
+        utilization = compute_utilization(pe_lin, t_rank, num_pes)
+        if not utilization.is_injective:
+            notes.append(
+                "dataflow is not injective: some spacetime stamps execute more than one "
+                "instance (the compute delay accounts for the extra cycles)"
+            )
+
+        spacetime = SpacetimeMap(
+            self.arch.pe_array, self.arch.interconnect, temporal_interval=self.temporal_interval
+        )
+        predecessor_table = spacetime.predecessor_table()
+
+        volumes: dict[str, VolumeMetrics] = {}
+        for tensor, per_reference in element_keys.items():
+            references = len(per_reference)
+            if references == 1:
+                tensor_pe, tensor_rank = pe_lin, t_rank
+                tensor_elements = per_reference[0]
+            else:
+                tensor_pe = np.tile(pe_lin, references)
+                tensor_rank = np.tile(t_rank, references)
+                tensor_elements = np.concatenate(per_reference)
+            volumes[tensor] = compute_volume_metrics(
+                tensor,
+                tensor_pe,
+                tensor_rank,
+                tensor_elements,
+                predecessor_table,
+                num_pes,
+                spatial_interval=spacetime.spatial_interval,
+                temporal_interval=self.temporal_interval,
+                chunk_size=self.chunk_size,
+                element_extent=element_extents[tensor],
+            )
+
+        latency = compute_latency(
+            utilization,
+            volumes,
+            self.op.input_tensors,
+            self.op.output_tensors,
+            self.arch.memory,
+        )
+        bandwidth = compute_bandwidth(volumes, utilization.compute_delay_cycles)
+        energy = compute_energy(
+            utilization.num_instances,
+            volumes,
+            self.arch.energy,
+            noc_hop_distance=self.arch.interconnect.hop_distance,
+        )
+
+        elapsed = time.perf_counter() - started
+        return PerformanceReport(
+            operation=self.op.name,
+            dataflow=self.dataflow.name,
+            architecture=self.arch.name,
+            volumes=volumes,
+            utilization=utilization,
+            latency=latency,
+            bandwidth=bandwidth,
+            energy=energy,
+            word_bits=self.arch.memory.word_bits,
+            peak_macs_per_cycle=self.arch.peak_macs_per_cycle,
+            analysis_seconds=elapsed,
+            notes=notes,
+        )
+
+    # -- relation materialisation ---------------------------------------------------
+
+    def _element_bounds(self) -> dict[str, _TensorColumns]:
+        """Shared per-coordinate bounds for every tensor (across its references)."""
+        inclusive = {
+            dim: (lo, hi - 1) for dim, (lo, hi) in self.op.domain.derived_bounds().items()
+        }
+        result: dict[str, _TensorColumns] = {}
+        for tensor in self.op.tensor_names:
+            combined: list[tuple[int, int]] | None = None
+            for access in self.op.accesses_to(tensor):
+                bounds = [expr.bounds(inclusive) for expr in access.relation.out_exprs]
+                if combined is None:
+                    combined = bounds
+                else:
+                    combined = [
+                        (min(a[0], b[0]), max(a[1], b[1])) for a, b in zip(combined, bounds)
+                    ]
+            result[tensor] = _TensorColumns(combined or [])
+        return result
+
+    def _materialize_relations(self):
+        """Evaluate dataflow and access relations over the whole iteration domain."""
+        pe_dims = self.arch.pe_array.dims
+        time_bounds = self.dataflow.time_bounds(self.op)
+        time_extents = [hi - lo + 1 for lo, hi in time_bounds]
+        time_lows = [lo for lo, _ in time_bounds]
+        element_bounds = self._element_bounds()
+
+        pe_parts: list[np.ndarray] = []
+        time_parts: list[np.ndarray] = []
+        element_parts: dict[str, list[list[np.ndarray]]] = {
+            tensor: [[] for _ in self.op.accesses_to(tensor)]
+            for tensor in self.op.tensor_names
+        }
+
+        total = 0
+        for chunk in self.op.domain.chunks(self.chunk_size):
+            length = chunk_length(chunk)
+            total += length
+            if total > self.max_instances:
+                raise ModelError(
+                    f"iteration domain exceeds the analyzer cap of {self.max_instances} "
+                    "instances; scale the workload first"
+                )
+
+            pe_lin = np.zeros(length, dtype=np.int64)
+            for extent, expr in zip(pe_dims, self.dataflow.pe_exprs):
+                column = expr.evaluate_vec(chunk)
+                if (column < 0).any() or (column >= extent).any():
+                    raise DataflowError(
+                        f"dataflow {self.dataflow.name!r} maps instances outside the "
+                        f"{self.arch.pe_array} array"
+                    )
+                pe_lin = pe_lin * extent + column
+            pe_parts.append(pe_lin)
+
+            time_key = np.zeros(length, dtype=np.int64)
+            for axis, (extent, expr) in enumerate(zip(time_extents, self.dataflow.time_exprs)):
+                time_key = time_key * extent + (expr.evaluate_vec(chunk) - time_lows[axis])
+            time_parts.append(time_key)
+
+            for tensor in self.op.tensor_names:
+                columns = element_bounds[tensor]
+                for index, access in enumerate(self.op.accesses_to(tensor)):
+                    coordinate_arrays = [
+                        expr.evaluate_vec(chunk) for expr in access.relation.out_exprs
+                    ]
+                    element_parts[tensor][index].append(
+                        columns.encode_columns(coordinate_arrays)
+                    )
+
+        if total == 0:
+            raise ModelError(f"operation {self.op.name} has an empty iteration domain")
+
+        from repro.isl.enumeration import sorted_unique
+
+        pe_lin = np.concatenate(pe_parts)
+        time_keys = np.concatenate(time_parts)
+        unique_times = sorted_unique(time_keys)
+        t_rank = np.searchsorted(unique_times, time_keys)
+
+        element_keys = {
+            tensor: [np.concatenate(parts) for parts in per_reference]
+            for tensor, per_reference in element_parts.items()
+        }
+        element_extents = {
+            tensor: columns.extent for tensor, columns in element_bounds.items()
+        }
+        return pe_lin, t_rank, element_keys, element_extents
+
+
+def analyze(op: TensorOp, dataflow: Dataflow, arch: ArchSpec, **kwargs) -> PerformanceReport:
+    """Convenience wrapper: ``TenetAnalyzer(op, dataflow, arch, **kwargs).analyze()``."""
+    return TenetAnalyzer(op, dataflow, arch, **kwargs).analyze()

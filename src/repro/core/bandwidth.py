@@ -1,0 +1,83 @@
+"""Bandwidth requirements (Section V-B, Equations 9 and 10).
+
+Two bandwidths are reported per tensor and in aggregate:
+
+* **Interconnection bandwidth (IBW)** — data forwarded between PEs:
+  ``SpatialReuseVolume / Delay_compute``.
+* **Scratchpad bandwidth (SBW)** — data moved between the PE array and the
+  scratchpad: ``UniqueVolume / Delay_compute``.
+
+Both are computed in words per cycle and can be converted to bits per cycle
+with the memory hierarchy's word size (the unit used in Figures 6 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.volumes import VolumeMetrics
+
+
+@dataclass(frozen=True)
+class TensorBandwidth:
+    """IBW / SBW requirement of a single tensor (words per cycle)."""
+
+    tensor: str
+    interconnect_words_per_cycle: float
+    scratchpad_words_per_cycle: float
+
+    def interconnect_bits_per_cycle(self, word_bits: int) -> float:
+        return self.interconnect_words_per_cycle * word_bits
+
+    def scratchpad_bits_per_cycle(self, word_bits: int) -> float:
+        return self.scratchpad_words_per_cycle * word_bits
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Per-tensor and aggregate bandwidth requirements."""
+
+    per_tensor: dict[str, TensorBandwidth] = field(default_factory=dict)
+
+    @property
+    def total_interconnect_words_per_cycle(self) -> float:
+        return sum(entry.interconnect_words_per_cycle for entry in self.per_tensor.values())
+
+    @property
+    def total_scratchpad_words_per_cycle(self) -> float:
+        return sum(entry.scratchpad_words_per_cycle for entry in self.per_tensor.values())
+
+    def total_interconnect_bits_per_cycle(self, word_bits: int) -> float:
+        return self.total_interconnect_words_per_cycle * word_bits
+
+    def total_scratchpad_bits_per_cycle(self, word_bits: int) -> float:
+        return self.total_scratchpad_words_per_cycle * word_bits
+
+    def __getitem__(self, tensor: str) -> TensorBandwidth:
+        return self.per_tensor[tensor]
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "ibw_words_per_cycle": entry.interconnect_words_per_cycle,
+                "sbw_words_per_cycle": entry.scratchpad_words_per_cycle,
+            }
+            for name, entry in self.per_tensor.items()
+        }
+
+
+def compute_bandwidth(
+    volumes: Mapping[str, VolumeMetrics],
+    compute_delay_cycles: float,
+) -> BandwidthReport:
+    """IBW and SBW per tensor, normalised to the computation delay."""
+    per_tensor: dict[str, TensorBandwidth] = {}
+    delay = max(float(compute_delay_cycles), 1.0)
+    for name, volume in volumes.items():
+        per_tensor[name] = TensorBandwidth(
+            tensor=name,
+            interconnect_words_per_cycle=volume.spatial_reuse / delay,
+            scratchpad_words_per_cycle=volume.unique / delay,
+        )
+    return BandwidthReport(per_tensor=per_tensor)

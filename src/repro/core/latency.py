@@ -1,0 +1,92 @@
+"""Latency model (Section V-B, Equations 7 and 8).
+
+Buffers, network and arithmetic are assumed to be pipelined with double
+buffering, so communication overlaps computation and the dataflow latency is
+the maximum of three delays:
+
+* ``Delay_compute`` — cycles needed by the PE array itself (Equation 8), which
+  the utilization walk provides directly.
+* ``Delay_read``    — ``UniqueVolume`` of all *input* tensors divided by the
+  scratchpad bandwidth (Equation 7).
+* ``Delay_write``   — ``UniqueVolume`` of all *output* tensors divided by the
+  scratchpad bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.arch.memory import MemoryHierarchy
+from repro.core.utilization import UtilizationMetrics
+from repro.core.volumes import VolumeMetrics
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """The three delays and the resulting dataflow latency (cycles)."""
+
+    compute_delay: float
+    read_delay: float
+    write_delay: float
+    read_volume_words: int
+    write_volume_words: int
+
+    @property
+    def latency(self) -> float:
+        """Overall latency: max of the pipelined delays."""
+        return max(self.compute_delay, self.read_delay, self.write_delay)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which delay dominates ("compute", "read" or "write")."""
+        delays = {
+            "compute": self.compute_delay,
+            "read": self.read_delay,
+            "write": self.write_delay,
+        }
+        return max(delays, key=delays.get)
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.bottleneck == "compute"
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return not self.is_compute_bound
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute_delay": self.compute_delay,
+            "read_delay": self.read_delay,
+            "write_delay": self.write_delay,
+            "latency": self.latency,
+            "bottleneck": self.bottleneck,
+        }
+
+
+def compute_latency(
+    utilization: UtilizationMetrics,
+    volumes: Mapping[str, VolumeMetrics],
+    input_tensors: Sequence[str],
+    output_tensors: Sequence[str],
+    memory: MemoryHierarchy,
+) -> LatencyBreakdown:
+    """Combine the compute delay with the scratchpad transfer delays.
+
+    The scratchpad bandwidth is specified in bits per cycle (the x-axis of
+    Figure 6); volumes are word counts, so the division uses the hierarchy's
+    word size.
+    """
+    words_per_cycle = memory.scratchpad_words_per_cycle
+    read_words = sum(volumes[name].unique for name in input_tensors if name in volumes)
+    write_words = sum(volumes[name].unique for name in output_tensors if name in volumes)
+    read_delay = read_words / words_per_cycle if words_per_cycle else float("inf")
+    write_delay = write_words / words_per_cycle if words_per_cycle else float("inf")
+    return LatencyBreakdown(
+        compute_delay=float(utilization.compute_delay_cycles),
+        read_delay=read_delay,
+        write_delay=write_delay,
+        read_volume_words=read_words,
+        write_volume_words=write_words,
+    )

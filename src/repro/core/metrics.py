@@ -1,0 +1,120 @@
+"""Aggregated performance report returned by the analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.bandwidth import BandwidthReport
+from repro.core.energy_model import EnergyBreakdown
+from repro.core.latency import LatencyBreakdown
+from repro.core.utilization import UtilizationMetrics
+from repro.core.volumes import VolumeMetrics
+
+
+@dataclass
+class PerformanceReport:
+    """Every metric TENET derives for one (operation, dataflow, architecture) triple."""
+
+    operation: str
+    dataflow: str
+    architecture: str
+    volumes: dict[str, VolumeMetrics]
+    utilization: UtilizationMetrics
+    latency: LatencyBreakdown
+    bandwidth: BandwidthReport
+    energy: EnergyBreakdown
+    word_bits: int = 16
+    peak_macs_per_cycle: int = 1
+    analysis_seconds: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    # -- headline numbers -------------------------------------------------------
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.latency.latency
+
+    @property
+    def macs(self) -> int:
+        return self.utilization.num_instances
+
+    @property
+    def ideal_latency_cycles(self) -> float:
+        """Latency at 100% utilization and unlimited bandwidth (Figure 7's baseline)."""
+        return self.macs / self.peak_macs_per_cycle if self.peak_macs_per_cycle else 0.0
+
+    @property
+    def normalized_latency(self) -> float:
+        """Latency normalised to the ideal latency (>= 1.0 for a single-MAC PE)."""
+        ideal = self.ideal_latency_cycles
+        return self.latency_cycles / ideal if ideal else 0.0
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.latency_cycles if self.latency_cycles else 0.0
+
+    @property
+    def average_pe_utilization(self) -> float:
+        return self.utilization.average_utilization
+
+    @property
+    def max_pe_utilization(self) -> float:
+        return self.utilization.max_utilization
+
+    def reuse_factor(self, tensor: str) -> float:
+        return self.volumes[tensor].reuse_factor
+
+    def unique_volume(self, tensor: str | None = None) -> int:
+        if tensor is not None:
+            return self.volumes[tensor].unique
+        return sum(volume.unique for volume in self.volumes.values())
+
+    def scratchpad_bandwidth_bits(self) -> float:
+        """Total SBW requirement in bits per cycle."""
+        return self.bandwidth.total_scratchpad_bits_per_cycle(self.word_bits)
+
+    def interconnect_bandwidth_bits(self) -> float:
+        """Total IBW requirement in bits per cycle."""
+        return self.bandwidth.total_interconnect_bits_per_cycle(self.word_bits)
+
+    # -- serialisation -------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "operation": self.operation,
+            "dataflow": self.dataflow,
+            "architecture": self.architecture,
+            "latency_cycles": self.latency_cycles,
+            "normalized_latency": self.normalized_latency,
+            "bottleneck": self.latency.bottleneck,
+            "average_pe_utilization": self.average_pe_utilization,
+            "max_pe_utilization": self.max_pe_utilization,
+            "macs": self.macs,
+            "volumes": {name: volume.as_dict() for name, volume in self.volumes.items()},
+            "bandwidth": self.bandwidth.as_dict(),
+            "energy": self.energy.as_dict(),
+            "analysis_seconds": self.analysis_seconds,
+        }
+
+    def summary(self) -> str:
+        """Compact multi-line text summary (used by the CLI and examples)."""
+        lines = [
+            f"operation      : {self.operation}",
+            f"dataflow       : {self.dataflow}",
+            f"architecture   : {self.architecture}",
+            f"MACs           : {self.macs}",
+            f"latency        : {self.latency_cycles:.0f} cycles "
+            f"({self.latency.bottleneck}-bound, ideal {self.ideal_latency_cycles:.0f})",
+            f"PE utilization : avg {self.average_pe_utilization:.1%}, "
+            f"max {self.max_pe_utilization:.1%}",
+            f"SBW / IBW      : {self.scratchpad_bandwidth_bits():.1f} / "
+            f"{self.interconnect_bandwidth_bits():.1f} bit/cycle",
+            f"energy         : {self.energy.total_pj / 1e6:.3f} uJ",
+        ]
+        for name, volume in self.volumes.items():
+            lines.append(f"  {volume}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()

@@ -1,0 +1,85 @@
+"""Spacetime-stamp maps (Definition 4).
+
+A spacetime map links spacetime stamps that can exchange (or retain) data:
+
+* **temporal** adjacency — same PE, previous time-stamp (data stays in the
+  PE's registers), and
+* **spatial** adjacency — interconnected PEs separated by the interconnect's
+  *time interval*: one time-stamp for store-and-forward links (systolic,
+  mesh) and zero for multicast wires, as prescribed in Section V-A.
+
+The analyzer consumes the *neighbour table* produced here: a dense array that
+lists, for every PE, the linear indices of the PEs that can forward data to
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.interconnect import Interconnect
+from repro.arch.pe_array import PEArray
+
+
+@dataclass
+class SpacetimeMap:
+    """Adjacency of spacetime stamps for a (PE array, interconnect) pair."""
+
+    pe_array: PEArray
+    interconnect: Interconnect
+
+    #: Time-stamp distance across which register (temporal) reuse happens.
+    temporal_interval: int = 1
+
+    @property
+    def spatial_interval(self) -> int:
+        """Time-stamp distance for reuse through the interconnect."""
+        return self.interconnect.time_interval
+
+    # -- neighbour table -------------------------------------------------------
+
+    def predecessor_table(self) -> np.ndarray:
+        """``(num_pes, max_in_degree)`` array of predecessor linear indices.
+
+        Rows are padded with ``-1``.  Row ``p`` lists every PE that can send
+        data to PE ``p`` through the interconnect.
+        """
+        predecessors = self.interconnect.predecessors(self.pe_array)
+        num_pes = self.pe_array.size
+        max_degree = max((len(v) for v in predecessors.values()), default=0)
+        table = np.full((num_pes, max(1, max_degree)), -1, dtype=np.int64)
+        for coord, sources in predecessors.items():
+            row = self.pe_array.linear_index(coord)
+            for slot, source in enumerate(sources):
+                table[row, slot] = self.pe_array.linear_index(source)
+        return table
+
+    def in_degree(self) -> float:
+        """Average number of predecessors per PE."""
+        return self.interconnect.degree(self.pe_array)
+
+    # -- symbolic examples -------------------------------------------------------
+
+    def example_maps(self, origin: tuple[int, ...] = None, time: int = 0) -> list[str]:
+        """Human-readable spacetime maps out of one stamp (Equation 6 style)."""
+        if origin is None:
+            origin = (0,) * self.pe_array.rank
+        origin = tuple(origin)
+        maps = [
+            f"([PE{list(origin)} | T[{time}]]) -> ([PE{list(origin)} | T[{time + self.temporal_interval}]])"
+        ]
+        successors = self.interconnect.successors(self.pe_array)
+        for destination in successors.get(origin, []):
+            maps.append(
+                f"([PE{list(origin)} | T[{time}]]) -> "
+                f"([PE{list(destination)} | T[{time + self.spatial_interval}]])"
+            )
+        return maps
+
+    def __str__(self) -> str:
+        return (
+            f"SpacetimeMap({self.pe_array}, {self.interconnect.name}, "
+            f"spatial interval {self.spatial_interval})"
+        )

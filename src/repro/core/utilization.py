@@ -1,0 +1,99 @@
+"""PE utilization and compute-delay statistics.
+
+The paper estimates PE utilization "by going through all time-stamps to check
+whether a PE is assigned" (Section VI-E), rather than with a polynomial of the
+array and problem sizes.  The same walk also yields the compute delay of
+Equation 8: with one MAC per PE per cycle, each time-stamp takes as many
+cycles as the busiest PE has instances assigned to it (one cycle exactly when
+the dataflow is injective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class UtilizationMetrics:
+    """Occupancy statistics of the PE array over the execution."""
+
+    num_instances: int
+    num_pes: int
+    num_time_stamps: int
+    occupied_stamps: int
+    compute_delay_cycles: int
+    max_active_pes: int
+
+    @property
+    def average_utilization(self) -> float:
+        """Average fraction of busy PEs per cycle (Equation 8's ``Util_PE``)."""
+        if self.compute_delay_cycles == 0 or self.num_pes == 0:
+            return 0.0
+        return self.num_instances / (self.num_pes * self.compute_delay_cycles)
+
+    @property
+    def max_utilization(self) -> float:
+        """Peak fraction of busy PEs in any single time-stamp."""
+        if self.num_pes == 0:
+            return 0.0
+        return self.max_active_pes / self.num_pes
+
+    @property
+    def is_injective(self) -> bool:
+        return self.occupied_stamps == self.num_instances
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "num_instances": self.num_instances,
+            "num_pes": self.num_pes,
+            "num_time_stamps": self.num_time_stamps,
+            "occupied_stamps": self.occupied_stamps,
+            "compute_delay_cycles": self.compute_delay_cycles,
+            "average_utilization": self.average_utilization,
+            "max_utilization": self.max_utilization,
+        }
+
+
+def compute_utilization(
+    pe_lin: np.ndarray,
+    t_rank: np.ndarray,
+    num_pes: int,
+) -> UtilizationMetrics:
+    """Derive utilization metrics from per-instance (PE, time-rank) arrays."""
+    if pe_lin.shape != t_rank.shape:
+        raise ModelError("pe_lin and t_rank must have identical shapes")
+    num_instances = int(pe_lin.size)
+    if num_instances == 0:
+        return UtilizationMetrics(0, num_pes, 0, 0, 0, 0)
+
+    from repro.isl.enumeration import sorted_unique
+
+    stamp_keys = t_rank.astype(np.int64) * num_pes + pe_lin
+    occupied, instances_per_stamp = sorted_unique(stamp_keys, return_counts=True)
+    stamp_times = occupied // num_pes
+
+    # Boundaries between consecutive time-stamps in the sorted stamp array.
+    change = np.flatnonzero(np.diff(stamp_times)) + 1
+    boundaries = np.concatenate(([0], change))
+    num_time_stamps = boundaries.size
+
+    # Active PEs per time-stamp = run length of each time value.
+    run_lengths = np.diff(np.concatenate((boundaries, [occupied.size])))
+    max_active_pes = int(run_lengths.max())
+
+    # Per time-stamp, the busiest PE determines the stamp's cycle count.
+    per_stamp_max = np.maximum.reduceat(instances_per_stamp, boundaries)
+    compute_delay = int(per_stamp_max.sum())
+
+    return UtilizationMetrics(
+        num_instances=num_instances,
+        num_pes=num_pes,
+        num_time_stamps=num_time_stamps,
+        occupied_stamps=int(occupied.size),
+        compute_delay_cycles=compute_delay,
+        max_active_pes=max_active_pes,
+    )

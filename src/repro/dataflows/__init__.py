@@ -1,0 +1,35 @@
+"""Catalog of named dataflows (Table III).
+
+Every dataflow of Table III is available as a parameterised factory: the
+PE-array extent along each axis is an argument, so the same ``(IJ-P |
+J,IJK-T)`` recipe can target a 4x4, 8x8 or 16x16 array.  Where the paper's
+table abbreviates the time-stamp (it only prints the innermost dimensions),
+the factories add the remaining loop dimensions as outer time-stamp axes so
+the resulting dataflows are complete and injective.
+
+Use :func:`repro.dataflows.catalog.get_dataflow` /
+:func:`repro.dataflows.catalog.dataflows_for` to access entries by name or by
+kernel.
+"""
+
+from repro.dataflows.catalog import (
+    CatalogEntry,
+    all_entries,
+    dataflows_for,
+    get_dataflow,
+    get_entry,
+)
+from repro.dataflows import conv2d, gemm, jacobi, mmc, mttkrp
+
+__all__ = [
+    "CatalogEntry",
+    "all_entries",
+    "dataflows_for",
+    "get_dataflow",
+    "get_entry",
+    "gemm",
+    "conv2d",
+    "mttkrp",
+    "mmc",
+    "jacobi",
+]

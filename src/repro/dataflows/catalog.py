@@ -1,0 +1,185 @@
+"""Registry of the Table III dataflows.
+
+Every entry records the factory that builds the dataflow for a given PE-array
+size, whether the dataflow is expressible in the data-centric notation (the
+"x" marks in Table III), and the PE-array shape the paper evaluates it on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.dataflow import Dataflow
+from repro.dataflows import conv2d, gemm, jacobi, mmc, mttkrp
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One named dataflow of the catalog."""
+
+    name: str
+    kernel: str
+    factory: Callable[..., Dataflow]
+    data_centric_expressible: bool
+    preferred_pe_dims: tuple[int, ...]
+    description: str = ""
+    data_centric_directives: tuple[str, ...] = field(default=())
+
+    def build(self, **kwargs) -> Dataflow:
+        """Instantiate the dataflow (keyword arguments override the defaults)."""
+        return self.factory(**kwargs)
+
+    def __str__(self) -> str:
+        marker = "data-centric" if self.data_centric_expressible else "TENET-only"
+        return f"{self.kernel} {self.name} [{marker}]"
+
+
+_ENTRIES: list[CatalogEntry] = [
+    # ---------------------------------------------------------------- GEMM
+    CatalogEntry(
+        "(IJ-P | J,IJK-T)", "gemm", gemm.ij_p, False, (8, 8),
+        "Output-stationary systolic GEMM as applied in the TPU.",
+    ),
+    CatalogEntry(
+        "(KJ-P | K,IJK-T)", "gemm", gemm.kj_p, False, (8, 8),
+        "Skewed GEMM dataflow parallel over (k, j).",
+    ),
+    CatalogEntry(
+        "(IK-P | K,IJK-T)", "gemm", gemm.ik_p, False, (8, 8),
+        "Skewed GEMM dataflow parallel over (i, k).",
+    ),
+    CatalogEntry(
+        "(K-P | I,J-T)", "gemm", gemm.k_p, True, (64,),
+        "Reduction-parallel 1-D GEMM dataflow.",
+        ("SpMap(1,1) K", "TpMap(1,1) I", "TpMap(1,1) J"),
+    ),
+    CatalogEntry(
+        "(J-P | I,K-T)", "gemm", gemm.j_p, True, (64,),
+        "Output-column-parallel 1-D GEMM dataflow.",
+        ("SpMap(1,1) J", "TpMap(1,1) I", "TpMap(1,1) K"),
+    ),
+    CatalogEntry(
+        "(JK-P | K,IJK-T)", "gemm", gemm.jk_p, False, (8, 8),
+        "Extra skewed GEMM dataflow used in the Figure 10 bandwidth study.",
+    ),
+    CatalogEntry(
+        "(IJ-P | K-T)", "gemm", gemm.ij_p_output_stationary, True, (8, 8),
+        "Non-skewed output-stationary GEMM, the best data-centric baseline of Figure 6.",
+        ("SpMap(1,1) I", "SpMap(1,1) J", "TpMap(1,1) K"),
+    ),
+    # ---------------------------------------------------------------- 2D-CONV
+    CatalogEntry(
+        "(KC-P | OY,KCOX-T)", "conv2d", conv2d.kc_p_skewed, False, (8, 8),
+        "Skewed systolic CONV dataflow parallel over output/input channels.",
+    ),
+    CatalogEntry(
+        "(KOX-P | OY,KOXC-T)", "conv2d", conv2d.kox_p_skewed, False, (8, 8),
+        "Skewed systolic CONV dataflow parallel over output channel and column.",
+    ),
+    CatalogEntry(
+        "(KC-P | C,KOX-T)", "conv2d", conv2d.kc_p_c_skewed, False, (8, 8),
+        "Skewed CONV dataflow with the channel tile iterated late.",
+    ),
+    CatalogEntry(
+        "(K-P | OX,OY-T)", "conv2d", conv2d.k_p, True, (64,),
+        "Output-channel-parallel 1-D CONV dataflow.",
+        ("SpMap(1,1) K", "TpMap(1,1) C", "TpMap(Sz(RX),1) X", "TpMap(Sz(RY),1) Y",
+         "TpMap(Sz(RY),Sz(RY)) R_Y", "TpMap(Sz(RX),Sz(RX)) R_X"),
+    ),
+    CatalogEntry(
+        "(C-P | OY,OX-T)", "conv2d", conv2d.c_p, True, (64,),
+        "Input-channel-parallel 1-D CONV dataflow.",
+        ("SpMap(1,1) C", "TpMap(1,1) K", "TpMap(Sz(RY),1) Y", "TpMap(Sz(RX),1) X",
+         "TpMap(Sz(RY),Sz(RY)) R_Y", "TpMap(Sz(RX),Sz(RX)) R_X"),
+    ),
+    CatalogEntry(
+        "(RYOY-P | OY,OX-T)", "conv2d", conv2d.ryoy_p_eyeriss, True, (12, 14),
+        "Eyeriss-motivated row-stationary dataflow (needs clustering in MAESTRO).",
+        ("TpMap(4,4) C", "TpMap(16,16) K", "SpMap(Sz(RY),1) Y", "TpMap(Sz(RX),1) X",
+         "Cluster(Sz(RY),P)", "TpMap(1,1) C", "TpMap(1,1) K", "SpMap(1,1) Y",
+         "SpMap(1,1) R_Y"),
+    ),
+    CatalogEntry(
+        "(OYOX-P | OY,OX-T)", "conv2d", conv2d.oyox_p_shidiannao, True, (8, 8),
+        "ShiDianNao-motivated output-stationary dataflow.",
+        ("TpMap(1,1) K", "TpMap(1,1) C", "SpMap(Sz(RY),1) Y", "TpMap(10,8) X",
+         "TpMap(Sz(RY),Sz(RY)) R_Y", "TpMap(Sz(RX),Sz(RX)) R_X", "Cluster(8,P)",
+         "SpMap(Sz(RX),1) X"),
+    ),
+    CatalogEntry(
+        "(KC-P | OY,OX-T)", "conv2d", conv2d.kc_p_nvdla, True, (8, 8),
+        "NVDLA-motivated dataflow parallel over output and input channels.",
+        ("SpMap(1,1) K", "TpMap(8,8) C", "TpMap(Sz(RY),Sz(RY)) R_Y",
+         "TpMap(Sz(RX),Sz(RX)) R_X", "TpMap(Sz(RY),1) Y", "TpMap(Sz(RX),1) X",
+         "Cluster(8,P)", "SpMap(1,1) C"),
+    ),
+    CatalogEntry(
+        "(OXOY-P | OX,C-T)", "conv2d", conv2d.oxoy_p_ox_c, False, (8, 8),
+        "Extra output-parallel dataflow used in the Figure 10 bandwidth study.",
+    ),
+    CatalogEntry(
+        "(OXOY-P | C,RX-T)", "conv2d", conv2d.oxoy_p_c_rx, False, (8, 8),
+        "Extra output-parallel dataflow used in the Figure 10 bandwidth study.",
+    ),
+    CatalogEntry(
+        "(RYOY-P | OYOX-T)", "conv2d", conv2d.ryoy_p_oyox, False, (12, 14),
+        "Row-stationary variant with the filter stationary across time-stamps.",
+    ),
+    # ---------------------------------------------------------------- MTTKRP
+    CatalogEntry(
+        "(IJ-P | J,IJL-T)", "mttkrp", mttkrp.ij_p, False, (8, 8),
+        "Output-stationary skewed MTTKRP dataflow.",
+    ),
+    CatalogEntry(
+        "(KJ-P | J,KJL-T)", "mttkrp", mttkrp.kj_p, False, (8, 8),
+        "Skewed MTTKRP dataflow parallel over (k, j).",
+    ),
+    CatalogEntry(
+        "(KL-P | L,KLJ-T)", "mttkrp", mttkrp.kl_p, False, (8, 8),
+        "Skewed MTTKRP dataflow parallel over both reduction dimensions.",
+    ),
+    # ---------------------------------------------------------------- Jacobi-2D
+    CatalogEntry(
+        "(I-P | I,J-T)", "jacobi2d", jacobi.i_p, False, (64,),
+        "Row-parallel Jacobi-2D dataflow on a 1-D array.",
+    ),
+    CatalogEntry(
+        "(IJ-P | I,J-T)", "jacobi2d", jacobi.ij_p, False, (8, 8),
+        "Tile-parallel Jacobi-2D dataflow on a 2-D array.",
+    ),
+    # ---------------------------------------------------------------- MMc
+    CatalogEntry(
+        "(IJ-P | J,IJL-T)", "mmc", mmc.ij_p, False, (8, 8),
+        "Output-stationary skewed MMc dataflow.",
+    ),
+    CatalogEntry(
+        "(KJ-P | J,KJL-T)", "mmc", mmc.kj_p, False, (8, 8),
+        "Skewed MMc dataflow parallel over (k, j).",
+    ),
+]
+
+
+def all_entries() -> tuple[CatalogEntry, ...]:
+    """Every catalog entry, in Table III order."""
+    return tuple(_ENTRIES)
+
+
+def dataflows_for(kernel: str) -> tuple[CatalogEntry, ...]:
+    """All entries of one kernel (``"gemm"``, ``"conv2d"``, ``"mttkrp"``, ...)."""
+    kernel = kernel.lower()
+    return tuple(entry for entry in _ENTRIES if entry.kernel == kernel)
+
+
+def get_entry(kernel: str, name: str) -> CatalogEntry:
+    """Look up one entry by kernel and Table III name."""
+    for entry in _ENTRIES:
+        if entry.kernel == kernel.lower() and entry.name == name:
+            return entry
+    known = [entry.name for entry in dataflows_for(kernel)]
+    raise KeyError(f"no dataflow {name!r} for kernel {kernel!r}; known: {known}")
+
+
+def get_dataflow(kernel: str, name: str, **kwargs) -> Dataflow:
+    """Build one catalog dataflow by kernel and name."""
+    return get_entry(kernel, name).build(**kwargs)

@@ -1,0 +1,172 @@
+"""2D-CONV dataflows from Table III (plus the extra Figure 10 variants).
+
+The loop nest is ``S[k, c, ox, oy, rx, ry]`` for
+``Y[k,ox,oy] += A[c, ox+rx, oy+ry] * B[k,c,rx,ry]``.
+
+Table III only prints the innermost time-stamp dimensions; the factories here
+add the remaining loop dimensions as outer time-stamp axes (in a fixed
+canonical order) so every dataflow is a complete, injective assignment of
+instances to spacetime stamps.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+from repro.isl.expr import var
+from repro.isl.space import Space
+
+
+def _space() -> Space:
+    return Space("S", ["k", "c", "ox", "oy", "rx", "ry"])
+
+
+def _dims():
+    return (var("k"), var("c"), var("ox"), var("oy"), var("rx"), var("ry"))
+
+
+def kc_p_skewed(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(KC-P | OY,KCOX-T)`` — skewed systolic dataflow (TENET-only in Table III)."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(KC-P | OY,KCOX-T)",
+        _space(),
+        [k % rows, c % cols],
+        [rx, ry, k // rows, c // cols, oy, (k % rows) + (c % cols) + ox],
+    )
+
+
+def kox_p_skewed(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(KOX-P | OY,KOXC-T)`` — skewed systolic dataflow (TENET-only in Table III)."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(KOX-P | OY,KOXC-T)",
+        _space(),
+        [k % rows, ox % cols],
+        [rx, ry, k // rows, ox // cols, oy, (k % rows) + (ox % cols) + c],
+    )
+
+
+def kc_p_c_skewed(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(KC-P | C,KOX-T)`` — skewed dataflow with the channel loop innermost but one."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(KC-P | C,KOX-T)",
+        _space(),
+        [k % rows, c % cols],
+        [rx, ry, k // rows, oy, c // cols, (k % rows) + ox],
+    )
+
+
+def k_p(lanes: int = 64) -> Dataflow:
+    """``(K-P | OX,OY-T)`` — output-channel parallel 1-D dataflow (data-centric expressible)."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(K-P | OX,OY-T)",
+        _space(),
+        [k % lanes],
+        [rx, ry, k // lanes, c, ox, oy],
+    )
+
+
+def c_p(lanes: int = 64) -> Dataflow:
+    """``(C-P | OY,OX-T)`` — input-channel parallel 1-D dataflow (data-centric expressible)."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(C-P | OY,OX-T)",
+        _space(),
+        [c % lanes],
+        [rx, ry, c // lanes, k, oy, ox],
+    )
+
+
+def ryoy_p_eyeriss(
+    rows: int = 12,
+    cols: int = 14,
+    filter_rows: int = 3,
+    channel_fold: int | None = None,
+) -> Dataflow:
+    """``(RYOY-P | OY,OX-T)`` — Eyeriss-style row-stationary dataflow.
+
+    The filter-row dimension ``ry`` and a slice of the channel dimension are
+    packed onto the first PE-array axis with the affine transformation
+    ``ry + filter_rows * (c mod channel_fold)`` (Section VI-E, where the paper
+    uses ``ry + 3*(c%4)`` for a 3-row filter on 12 PE rows); the second axis
+    carries ``oy``.  This packing is exactly what the data-centric notation
+    cannot express without clustering tricks.
+    """
+    if channel_fold is None:
+        channel_fold = max(1, rows // max(1, filter_rows))
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(RYOY-P | OY,OX-T)",
+        _space(),
+        [ry + filter_rows * (c % channel_fold), oy % cols],
+        [rx, k // 16, k % 16, c // channel_fold, oy // cols, ox],
+    )
+
+
+def oyox_p_shidiannao(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(OYOX-P | OY,OX-T)`` — ShiDianNao-style output-stationary dataflow."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(OYOX-P | OY,OX-T)",
+        _space(),
+        [oy % rows, ox % cols],
+        [rx, ry, k, c, oy // rows, ox // cols],
+    )
+
+
+def kc_p_nvdla(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(KC-P | OY,OX-T)`` — NVDLA-style dataflow parallel over output and input channels."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(KC-P | OY,OX-T)",
+        _space(),
+        [k % rows, c % cols],
+        [rx, ry, k // rows, c // cols, oy, ox],
+    )
+
+
+def oxoy_p_ox_c(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(OXOY-P | OX,C-T)`` — extra output-parallel dataflow used in Figure 10."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(OXOY-P | OX,C-T)",
+        _space(),
+        [ox % rows, oy % cols],
+        [rx, ry, k, ox // rows, oy // cols, c],
+    )
+
+
+def oxoy_p_c_rx(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(OXOY-P | C,RX-T)`` — extra output-parallel dataflow used in Figure 10."""
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(OXOY-P | C,RX-T)",
+        _space(),
+        [ox % rows, oy % cols],
+        [ry, k, ox // rows, oy // cols, c, rx],
+    )
+
+
+def ryoy_p_oyox(
+    rows: int = 12,
+    cols: int = 14,
+    filter_rows: int = 3,
+    channel_fold: int | None = None,
+) -> Dataflow:
+    """``(RYOY-P | OYOX-T)`` — row-stationary variant iterating ``ox`` before the ``oy`` tile.
+
+    Used in the Figure 10 bandwidth study; the filter stays stationary in a PE
+    across consecutive time-stamps, which lowers the interconnect bandwidth of
+    a 1-D systolic topology relative to a 2-D one.
+    """
+    if channel_fold is None:
+        channel_fold = max(1, rows // max(1, filter_rows))
+    k, c, ox, oy, rx, ry = _dims()
+    return Dataflow.from_exprs(
+        "(RYOY-P | OYOX-T)",
+        _space(),
+        [ry + filter_rows * (c % channel_fold), oy % cols],
+        [rx, k // 16, k % 16, c // channel_fold, ox, oy // cols],
+    )

@@ -1,0 +1,102 @@
+"""GEMM dataflows from Table III.
+
+The loop nest is ``S[i, j, k]`` (``Y[i,j] += A[i,k] * B[k,j]``).  Five
+dataflows are evaluated in the paper; the first three use a two-dimensional
+space-stamp with a skewed (affine-transformed) innermost time-stamp and cannot
+be written in the data-centric notation, the last two use a one-dimensional
+space-stamp and can.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+from repro.isl.expr import var
+
+
+def ij_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(IJ-P | J,IJK-T)`` — output-stationary systolic GEMM (TPU-style)."""
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(IJ-P | J,IJK-T)",
+        _space(),
+        [i % rows, j % cols],
+        [i // rows, j // cols, (i % rows) + (j % cols) + k],
+    )
+
+
+def kj_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(KJ-P | K,IJK-T)`` — skewed dataflow parallel over (k, j)."""
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(KJ-P | K,IJK-T)",
+        _space(),
+        [k % rows, j % cols],
+        [j // cols, k // rows, i + (j % cols) + (k % rows)],
+    )
+
+
+def ik_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(IK-P | K,IJK-T)`` — skewed dataflow parallel over (i, k)."""
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(IK-P | K,IJK-T)",
+        _space(),
+        [i % rows, k % cols],
+        [i // rows, k // cols, j + (i % rows) + (k % cols)],
+    )
+
+
+def k_p(lanes: int = 64) -> Dataflow:
+    """``(K-P | I,J-T)`` — 1-D reduction-parallel dataflow (data-centric expressible)."""
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(K-P | I,J-T)",
+        _space(),
+        [k % lanes],
+        [k // lanes, i, j],
+    )
+
+
+def j_p(lanes: int = 64) -> Dataflow:
+    """``(J-P | I,K-T)`` — 1-D output-column-parallel dataflow (data-centric expressible)."""
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(J-P | I,K-T)",
+        _space(),
+        [j % lanes],
+        [j // lanes, i, k],
+    )
+
+
+def ij_p_output_stationary(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(IJ-P | K-T)`` — non-skewed output-stationary GEMM (data-centric expressible).
+
+    This is the strongest baseline the data-centric notation can express with
+    two SpatialMaps (the blue line of Figure 6(b)): the same PE assignment as
+    ``(IJ-P | J,IJK-T)`` but without the affine time skew, so operands cannot
+    ride the systolic links.
+    """
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(IJ-P | K-T)",
+        _space(),
+        [i % rows, j % cols],
+        [i // rows, j // cols, k],
+    )
+
+
+def jk_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(JK-P | K,IJK-T)`` — extra dataflow used in the bandwidth study (Figure 10)."""
+    i, j, k = var("i"), var("j"), var("k")
+    return Dataflow.from_exprs(
+        "(JK-P | K,IJK-T)",
+        _space(),
+        [j % rows, k % cols],
+        [j // rows, k // cols, i + (j % rows) + (k % cols)],
+    )
+
+
+def _space():
+    from repro.isl.space import Space
+
+    return Space("S", ["i", "j", "k"])

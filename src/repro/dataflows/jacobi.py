@@ -1,0 +1,37 @@
+"""Jacobi-2D dataflows from Table III.
+
+The loop nest is ``S[i, j]`` for the five-point stencil
+``Y[i,j] = (A[i,j] + A[i-1,j] + A[i,j-1] + A[i+1,j] + A[i,j+1]) / 5``.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+from repro.isl.expr import var
+from repro.isl.space import Space
+
+
+def _space() -> Space:
+    return Space("S", ["i", "j"])
+
+
+def i_p(lanes: int = 64) -> Dataflow:
+    """``(I-P | I,J-T)`` — one grid row per PE on a 1-D array."""
+    i, j = var("i"), var("j")
+    return Dataflow.from_exprs(
+        "(I-P | I,J-T)",
+        _space(),
+        [i % lanes],
+        [i // lanes, j],
+    )
+
+
+def ij_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(IJ-P | I,J-T)`` — a 2-D tile of grid points per time-stamp."""
+    i, j = var("i"), var("j")
+    return Dataflow.from_exprs(
+        "(IJ-P | I,J-T)",
+        _space(),
+        [i % rows, j % cols],
+        [i // rows, j // cols],
+    )

@@ -1,0 +1,37 @@
+"""Matrix-multiplication-chain (MMc) dataflows from Table III.
+
+The loop nest is ``S[i, j, k, l]`` for ``Y[i,j] += A[i,k] * B[k,l] * C[l,j]``
+(the fused two-GEMM chain used by the Transformer workload).
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+from repro.isl.expr import var
+from repro.isl.space import Space
+
+
+def _space() -> Space:
+    return Space("S", ["i", "j", "k", "l"])
+
+
+def ij_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(IJ-P | J,IJL-T)`` — output-stationary skewed dataflow."""
+    i, j, k, l = var("i"), var("j"), var("k"), var("l")
+    return Dataflow.from_exprs(
+        "(IJ-P | J,IJL-T)",
+        _space(),
+        [i % rows, j % cols],
+        [k, i // rows, j // cols, (i % rows) + (j % cols) + l],
+    )
+
+
+def kj_p(rows: int = 8, cols: int = 8) -> Dataflow:
+    """``(KJ-P | J,KJL-T)`` — skewed dataflow parallel over (k, j)."""
+    i, j, k, l = var("i"), var("j"), var("k"), var("l")
+    return Dataflow.from_exprs(
+        "(KJ-P | J,KJL-T)",
+        _space(),
+        [k % rows, j % cols],
+        [i, k // rows, j // cols, (k % rows) + (j % cols) + l],
+    )

@@ -1,0 +1,31 @@
+"""Dataflow design-space exploration (Section IV-A sizing and Section VI-B DSE).
+
+Three pieces:
+
+* :mod:`repro.dse.space` — the unpruned space: every 0/1 affine transformation
+  of the loop iterators, whose size ``2^(n^2)`` the paper contrasts with the
+  ``n! * C(n, 2)`` mappings reachable by the data-centric primitives.
+* :mod:`repro.dse.pruning` — the pruned space of Section VI-B: enumerate the
+  data movements the interconnect can support per tensor, then the possible
+  boundary-PE data assignments.
+* :mod:`repro.dse.explorer` — evaluate a candidate list with the analyzer and
+  return the best dataflow under a chosen objective.
+"""
+
+from repro.dse.space import (
+    data_centric_space_size,
+    enumerate_binary_dataflows,
+    relation_centric_space_size,
+)
+from repro.dse.pruning import paper_pruned_count, pruned_candidates
+from repro.dse.explorer import DesignSpaceExplorer, ExplorationResult
+
+__all__ = [
+    "relation_centric_space_size",
+    "data_centric_space_size",
+    "enumerate_binary_dataflows",
+    "pruned_candidates",
+    "paper_pruned_count",
+    "DesignSpaceExplorer",
+    "ExplorationResult",
+]

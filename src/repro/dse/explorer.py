@@ -1,0 +1,109 @@
+"""Objective-driven exploration of candidate dataflows."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.arch.spec import ArchSpec
+from repro.core.analyzer import TenetAnalyzer
+from repro.core.dataflow import Dataflow
+from repro.core.metrics import PerformanceReport
+from repro.errors import ExplorationError
+from repro.tensor.operation import TensorOp
+
+Objective = Callable[[PerformanceReport], float]
+
+_OBJECTIVES: dict[str, Objective] = {
+    "latency": lambda report: report.latency_cycles,
+    "energy": lambda report: report.energy.total_pj,
+    "edp": lambda report: report.latency_cycles * report.energy.total_pj,
+    "sbw": lambda report: report.scratchpad_bandwidth_bits(),
+    "unique_volume": lambda report: float(report.unique_volume()),
+}
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a design-space exploration run."""
+
+    objective: str
+    evaluated: list[PerformanceReport] = field(default_factory=list)
+    failures: list[tuple[str, str]] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def best(self) -> PerformanceReport:
+        if not self.evaluated:
+            raise ExplorationError("no candidate dataflow could be evaluated")
+        return self.evaluated[0]
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.evaluated) + len(self.failures)
+
+    def top(self, count: int = 5) -> list[PerformanceReport]:
+        return self.evaluated[:count]
+
+    def summary(self) -> str:
+        lines = [
+            f"explored {self.num_candidates} candidates in {self.seconds:.1f}s "
+            f"({len(self.failures)} invalid), objective = {self.objective}",
+        ]
+        for rank, report in enumerate(self.top(), start=1):
+            lines.append(
+                f"  {rank}. {report.dataflow:30s} latency={report.latency_cycles:.0f} "
+                f"util={report.average_pe_utilization:.2f} "
+                f"sbw={report.scratchpad_bandwidth_bits():.1f} bit/cycle"
+            )
+        return "\n".join(lines)
+
+
+class DesignSpaceExplorer:
+    """Evaluate candidate dataflows with the TENET analyzer and rank them."""
+
+    def __init__(
+        self,
+        op: TensorOp,
+        arch: ArchSpec,
+        objective: str | Objective = "latency",
+        *,
+        max_instances: int = 4_000_000,
+        chunk_size: int = 1 << 20,
+    ):
+        self.op = op
+        self.arch = arch
+        if callable(objective):
+            self.objective_name = getattr(objective, "__name__", "custom")
+            self.objective = objective
+        else:
+            if objective not in _OBJECTIVES:
+                raise ExplorationError(
+                    f"unknown objective {objective!r}; available: {sorted(_OBJECTIVES)}"
+                )
+            self.objective_name = objective
+            self.objective = _OBJECTIVES[objective]
+        self.max_instances = max_instances
+        self.chunk_size = chunk_size
+
+    def explore(self, candidates: Iterable[Dataflow]) -> ExplorationResult:
+        """Analyse every candidate and return them sorted by the objective."""
+        started = time.perf_counter()
+        result = ExplorationResult(objective=self.objective_name)
+        for dataflow in candidates:
+            try:
+                report = TenetAnalyzer(
+                    self.op,
+                    dataflow,
+                    self.arch,
+                    max_instances=self.max_instances,
+                    chunk_size=self.chunk_size,
+                ).analyze()
+            except Exception as error:  # noqa: BLE001 - candidates may be invalid by design
+                result.failures.append((dataflow.name, f"{type(error).__name__}: {error}"))
+                continue
+            result.evaluated.append(report)
+        result.evaluated.sort(key=self.objective)
+        result.seconds = time.perf_counter() - started
+        return result

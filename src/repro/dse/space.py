@@ -1,0 +1,71 @@
+"""The unpruned dataflow design space (Section IV-A).
+
+Under the fair-comparison assumptions of the paper — one MAC per PE, a
+two-dimensional PE array, data-centric size/offset parameters fixed to 1, and
+affine coefficients restricted to 0/1 — each relation-centric dataflow is an
+``n x n`` 0/1 transformation matrix over the ``n`` loop iterators (the first
+two rows are the space-stamp, the rest the time-stamp).  That gives
+``2^(n^2)`` dataflows, against the ``n! * C(n, 2)`` arrangements reachable
+with ``n`` data-centric primitives of which exactly two are SpatialMaps
+(for GEMM: 512 vs 18, a 28x difference).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Sequence
+
+from repro.core.dataflow import Dataflow
+from repro.isl.expr import AffExpr, var
+from repro.isl.space import Space
+
+
+def relation_centric_space_size(num_loops: int) -> int:
+    """``2^(n^2)``: one 0/1 coefficient per (stamp dimension, loop iterator) pair."""
+    return 2 ** (num_loops * num_loops)
+
+
+def data_centric_space_size(num_loops: int, spatial_maps: int = 2) -> int:
+    """``n! * C(n, spatial_maps)``: primitive orderings times the SpatialMap choice."""
+    return math.factorial(num_loops) * math.comb(num_loops, spatial_maps)
+
+
+def _row_expr(row: Sequence[int], dims: Sequence[str]) -> AffExpr:
+    expr = AffExpr.constant(0)
+    for coefficient, dim in zip(row, dims):
+        if coefficient:
+            expr = expr + var(dim)
+    return expr
+
+
+def enumerate_binary_dataflows(
+    dims: Sequence[str],
+    pe_rank: int = 2,
+    require_nonzero_rows: bool = True,
+    limit: int | None = None,
+) -> Iterator[Dataflow]:
+    """Enumerate dataflows whose stamps are 0/1 combinations of the iterators.
+
+    Each candidate is an ``n x n`` matrix of 0/1 coefficients: the first
+    ``pe_rank`` rows form the space-stamp, the remaining rows the time-stamp.
+    ``require_nonzero_rows`` skips matrices with an all-zero row (they waste a
+    stamp dimension); ``limit`` caps the number of yielded candidates.
+    """
+    dims = list(dims)
+    n = len(dims)
+    space = Space("S", dims)
+    row_choices = list(itertools.product((0, 1), repeat=n))
+    if require_nonzero_rows:
+        row_choices = [row for row in row_choices if any(row)]
+    count = 0
+    for matrix in itertools.product(row_choices, repeat=n):
+        pe_exprs = [_row_expr(row, dims) for row in matrix[:pe_rank]]
+        time_exprs = [_row_expr(row, dims) for row in matrix[pe_rank:]]
+        if not time_exprs:
+            time_exprs = [AffExpr.constant(0)]
+        name = "T" + "".join("".join(str(c) for c in row) for row in matrix)
+        yield Dataflow.from_exprs(name, space, pe_exprs, time_exprs)
+        count += 1
+        if limit is not None and count >= limit:
+            return

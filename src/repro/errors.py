@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the TENET reproduction."""
+
+
+class TenetError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SpaceError(TenetError):
+    """Raised for inconsistent spaces or dimension mismatches."""
+
+
+class ParseError(TenetError):
+    """Raised when an ISL-like relation string or a C loop nest cannot be parsed."""
+
+
+class UnboundedSetError(TenetError):
+    """Raised when enumeration is requested for a set without finite bounds."""
+
+
+class NotFunctionalError(TenetError):
+    """Raised when a functional (single-valued) map is required but the map is a relation."""
+
+
+class DataflowError(TenetError):
+    """Raised when a dataflow relation is malformed (collisions, out-of-range PEs, ...)."""
+
+
+class ArchitectureError(TenetError):
+    """Raised for invalid spatial-architecture specifications."""
+
+
+class ModelError(TenetError):
+    """Raised when a performance-model computation cannot be carried out."""
+
+
+class ExplorationError(TenetError):
+    """Raised by the design-space exploration engine."""

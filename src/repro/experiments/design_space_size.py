@@ -1,0 +1,49 @@
+"""Section IV-A: size of the dataflow design space.
+
+Under the fair-comparison assumptions, a relation-centric dataflow is an
+``n x n`` 0/1 transformation matrix (``2^(n^2)`` choices), while the
+data-centric notation arranges ``n`` primitives of which exactly two are
+SpatialMaps (``n! * C(n, 2)`` choices).  For GEMM (n = 3) this is 512 vs 18 —
+a 28x larger space.
+"""
+
+from __future__ import annotations
+
+from repro.dse.space import (
+    data_centric_space_size,
+    enumerate_binary_dataflows,
+    relation_centric_space_size,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def run(max_loops: int = 6, verify_enumeration_up_to: int = 3) -> ExperimentResult:
+    result = ExperimentResult(
+        name="design-space-size",
+        description="Number of dataflows expressible by each notation "
+                    "(Section IV-A; GEMM row should read 512 vs 18).",
+    )
+    for loops in range(2, max_loops + 1):
+        relation = relation_centric_space_size(loops)
+        data_centric = data_centric_space_size(loops)
+        enumerated = None
+        if loops <= verify_enumeration_up_to:
+            dims = [f"d{i}" for i in range(loops)]
+            enumerated = sum(
+                1 for _ in enumerate_binary_dataflows(dims, pe_rank=2, require_nonzero_rows=False)
+            )
+        result.add_row(
+            loops=loops,
+            kernel="GEMM" if loops == 3 else ("2D-CONV" if loops == 6 else f"{loops}-loop"),
+            relation_centric=relation,
+            data_centric=data_centric,
+            ratio=relation / data_centric,
+            enumerated=enumerated if enumerated is not None else "-",
+        )
+    gemm_row = result.filter_rows(loops=3)[0]
+    result.headline = {
+        "gemm_relation_centric": gemm_row["relation_centric"],
+        "gemm_data_centric": gemm_row["data_centric"],
+        "gemm_ratio": f"{gemm_row['ratio']:.0f}x (paper: 28x)",
+    }
+    return result

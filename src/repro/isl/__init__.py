@@ -1,0 +1,57 @@
+"""Integer sets and quasi-affine relations (the ISL/Barvinok substitute).
+
+The paper implements its performance analysis on top of the ISL and Barvinok
+C libraries.  Those libraries are used for two things only:
+
+1. representing relations between named integer tuples (loop instances,
+   PE coordinates, time-stamps, tensor elements), and
+2. counting the cardinality of sets and relations.
+
+This package provides both from scratch in Python:
+
+* :class:`~repro.isl.space.Space` — a named tuple space such as ``S[i, j, k]``.
+* :class:`~repro.isl.expr.AffExpr` — quasi-affine expressions: linear
+  combinations of dimensions plus ``floor(e / d)``, ``e mod d`` and ``abs(e)``
+  terms, which is exactly the expression family the paper's dataflows use.
+* :class:`~repro.isl.constraint.Constraint` — ``expr == 0`` / ``expr >= 0``.
+* :class:`~repro.isl.iset.IntSet` — a set of integer points in a space.
+* :class:`~repro.isl.imap.IntMap` — a relation between two spaces, with a
+  fast path for *functional* maps (``out = f(in)``), which covers dataflow,
+  access and assignment relations.
+* :class:`~repro.isl.union.UnionSet` / :class:`~repro.isl.union.UnionMap`.
+* :mod:`repro.isl.parser` — an ISL-like string syntax, e.g.
+  ``"{ S[i,j,k] -> PE[i mod 8, j mod 8] : 0 <= i < 64 }"``.
+* :mod:`repro.isl.enumerate` / :mod:`repro.isl.count` — vectorised point
+  enumeration and exact cardinality counting, the stand-in for Barvinok.
+"""
+
+from repro.isl.space import Space
+from repro.isl.expr import AffExpr, var, const
+from repro.isl.constraint import Constraint
+from repro.isl.point import Point
+from repro.isl.iset import IntSet
+from repro.isl.imap import IntMap
+from repro.isl.union import UnionMap, UnionSet
+from repro.isl.parser import parse_set, parse_map, parse_expr
+from repro.isl.count import count_points
+from repro.isl.builders import box_set, identity_map, functional_map
+
+__all__ = [
+    "Space",
+    "AffExpr",
+    "var",
+    "const",
+    "Constraint",
+    "Point",
+    "IntSet",
+    "IntMap",
+    "UnionMap",
+    "UnionSet",
+    "parse_set",
+    "parse_map",
+    "parse_expr",
+    "count_points",
+    "box_set",
+    "identity_map",
+    "functional_map",
+]

@@ -1,0 +1,42 @@
+"""Convenience constructors for common sets and maps."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.isl.expr import AffExpr
+from repro.isl.imap import IntMap
+from repro.isl.iset import IntSet
+from repro.isl.space import Space
+
+
+def box_set(name: str, bounds: Mapping[str, tuple[int, int]] | Mapping[str, int]) -> IntSet:
+    """Build a box set from either ``{dim: (lo, hi)}`` or ``{dim: size}``.
+
+    ``{dim: size}`` is shorthand for ``0 <= dim < size``.
+    """
+    normalised: dict[str, tuple[int, int]] = {}
+    for dim, value in bounds.items():
+        if isinstance(value, tuple):
+            normalised[dim] = (int(value[0]), int(value[1]))
+        else:
+            normalised[dim] = (0, int(value))
+    space = Space(name, list(bounds.keys()))
+    return IntSet.box(space, normalised)
+
+
+def identity_map(space: Space, domain: IntSet | None = None) -> IntMap:
+    """The identity relation on a space."""
+    return IntMap.identity(space, domain=domain)
+
+
+def functional_map(
+    in_space: Space | IntSet,
+    out_name: str,
+    exprs: Sequence[AffExpr | int],
+    out_dims: Sequence[str] | None = None,
+) -> IntMap:
+    """Build a functional map; accepts either a space or a domain set for the input."""
+    if isinstance(in_space, IntSet):
+        return IntMap.from_exprs(in_space.space, out_name, exprs, domain=in_space, out_dims=out_dims)
+    return IntMap.from_exprs(in_space, out_name, exprs, out_dims=out_dims)

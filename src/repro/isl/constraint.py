@@ -1,0 +1,97 @@
+"""Constraints over quasi-affine expressions.
+
+A :class:`Constraint` is either ``expr == 0`` or ``expr >= 0``.  Sets and
+relations are conjunctions of constraints; disjunctions are represented one
+level up as unions (:mod:`repro.isl.union`), mirroring ISL's basic-set /
+union-set split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.isl.expr import AffExpr, ExprLike, _as_expr
+
+EQ = "eq"
+GE = "ge"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr == 0`` (kind ``"eq"``) or ``expr >= 0`` (kind ``"ge"``)."""
+
+    expr: AffExpr
+    kind: str = GE
+
+    def __post_init__(self):
+        if self.kind not in (EQ, GE):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def eq(lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """``lhs == rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs), EQ)
+
+    @staticmethod
+    def ge(lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """``lhs >= rhs``."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs), GE)
+
+    @staticmethod
+    def le(lhs: ExprLike, rhs: ExprLike = 0) -> "Constraint":
+        """``lhs <= rhs``."""
+        return Constraint(_as_expr(rhs) - _as_expr(lhs), GE)
+
+    @staticmethod
+    def lt(lhs: ExprLike, rhs: ExprLike) -> "Constraint":
+        """``lhs < rhs`` (integer semantics: ``lhs <= rhs - 1``)."""
+        return Constraint(_as_expr(rhs) - _as_expr(lhs) - 1, GE)
+
+    @staticmethod
+    def gt(lhs: ExprLike, rhs: ExprLike) -> "Constraint":
+        """``lhs > rhs`` (integer semantics: ``lhs >= rhs + 1``)."""
+        return Constraint(_as_expr(lhs) - _as_expr(rhs) - 1, GE)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def satisfied(self, env: Mapping[str, int]) -> bool:
+        value = self.expr.evaluate(env)
+        return value == 0 if self.kind == EQ else value >= 0
+
+    def satisfied_vec(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        value = self.expr.evaluate_vec(env)
+        return value == 0 if self.kind == EQ else value >= 0
+
+    # -- transformation -----------------------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, AffExpr]) -> "Constraint":
+        return Constraint(self.expr.substitute(mapping), self.kind)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    def variables(self) -> frozenset[str]:
+        return self.expr.variables()
+
+    @property
+    def is_trivially_true(self) -> bool:
+        if not self.expr.is_constant:
+            return False
+        return self.expr.const == 0 if self.kind == EQ else self.expr.const >= 0
+
+    @property
+    def is_trivially_false(self) -> bool:
+        if not self.expr.is_constant:
+            return False
+        return self.expr.const != 0 if self.kind == EQ else self.expr.const < 0
+
+    # -- formatting ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        op = "=" if self.kind == EQ else ">="
+        return f"{self.expr} {op} 0"

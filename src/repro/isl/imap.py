@@ -1,0 +1,362 @@
+"""Relations between named integer tuple spaces.
+
+An :class:`IntMap` relates points of an input space to points of an output
+space.  Two representations are supported:
+
+* **Functional maps** — every output coordinate is a quasi-affine expression
+  of the input dimensions (``out = f(in)``).  Dataflow relations, access
+  functions and data assignments are all functional, and functional maps
+  compose symbolically (ISL's ``apply_range``).
+* **General relations** — a conjunction of constraints over the union of the
+  input and output dimensions.  Interconnection relations (e.g. mesh
+  adjacency) take this form.
+
+Output dimension names are always kept disjoint from input dimension names;
+colliding names are primed automatically, following ISL's convention for
+``PE -> PE`` style maps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import NotFunctionalError, SpaceError, UnboundedSetError
+from repro.isl.constraint import Constraint
+from repro.isl.enumeration import (
+    DEFAULT_CHUNK,
+    chunk_length,
+    chunk_to_array,
+    filter_chunk,
+    iter_box_chunks,
+)
+from repro.isl.expr import AffExpr
+from repro.isl.iset import IntSet
+from repro.isl.point import Point, env_from
+from repro.isl.space import Space, ensure_disjoint
+
+
+class IntMap:
+    """A relation ``{ in_space -> out_space : constraints }``."""
+
+    __slots__ = ("in_space", "out_space", "out_exprs", "constraints", "domain", "range_")
+
+    def __init__(
+        self,
+        in_space: Space,
+        out_space: Space,
+        out_exprs: Sequence[AffExpr] | None = None,
+        constraints: Iterable[Constraint] = (),
+        domain: IntSet | None = None,
+        range_: IntSet | None = None,
+    ):
+        out_space = ensure_disjoint(in_space, out_space)
+        self.in_space = in_space
+        self.out_space = out_space
+        if out_exprs is not None:
+            out_exprs = tuple(out_exprs)
+            if len(out_exprs) != out_space.rank:
+                raise SpaceError(
+                    f"{len(out_exprs)} output expressions for output space {out_space} "
+                    f"of rank {out_space.rank}"
+                )
+            allowed = set(in_space.dims)
+            for expr in out_exprs:
+                extra = expr.variables() - allowed
+                if extra:
+                    raise SpaceError(
+                        f"functional output expression '{expr}' uses variables {sorted(extra)} "
+                        f"outside input space {in_space}"
+                    )
+        self.out_exprs = out_exprs
+        allowed = set(in_space.dims) | set(out_space.dims)
+        constraint_list = []
+        for constraint in constraints:
+            extra = constraint.variables() - allowed
+            if extra:
+                raise SpaceError(
+                    f"constraint '{constraint}' uses variables {sorted(extra)} outside "
+                    f"{in_space} -> {out_space}"
+                )
+            constraint_list.append(constraint)
+        self.constraints = tuple(constraint_list)
+        if domain is not None and domain.space.dims != in_space.dims:
+            raise SpaceError(f"domain {domain.space} does not match input space {in_space}")
+        if range_ is not None and range_.space.dims != out_space.dims:
+            raise SpaceError(f"range {range_.space} does not match output space {out_space}")
+        self.domain = domain
+        self.range_ = range_
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_exprs(
+        cls,
+        in_space: Space,
+        out_name: str,
+        exprs: Sequence[AffExpr | int],
+        domain: IntSet | None = None,
+        out_dims: Sequence[str] | None = None,
+    ) -> "IntMap":
+        """Build a functional map ``{ in_space -> out_name[exprs...] }``."""
+        exprs = tuple(e if isinstance(e, AffExpr) else AffExpr.constant(int(e)) for e in exprs)
+        if out_dims is None:
+            prefix = out_name.lower() if out_name else "o"
+            out_dims = tuple(f"{prefix}{i}" for i in range(len(exprs)))
+        out_space = Space(out_name, out_dims)
+        return cls(in_space, out_space, out_exprs=exprs, domain=domain)
+
+    @classmethod
+    def identity(cls, space: Space, domain: IntSet | None = None) -> "IntMap":
+        exprs = tuple(AffExpr.variable(dim) for dim in space.dims)
+        return cls.from_exprs(space, space.name, exprs, domain=domain)
+
+    # -- basic queries -----------------------------------------------------------
+
+    @property
+    def is_functional(self) -> bool:
+        return self.out_exprs is not None
+
+    def _require_functional(self) -> None:
+        if not self.is_functional:
+            raise NotFunctionalError(
+                f"map {self} is a general relation; a functional map is required here"
+            )
+
+    # -- application ----------------------------------------------------------------
+
+    def apply_env(self, env: Mapping[str, int]) -> tuple[int, ...]:
+        """Apply a functional map to one point given as a name -> value mapping."""
+        self._require_functional()
+        return tuple(expr.evaluate(env) for expr in self.out_exprs)
+
+    def apply_point(self, point: Point | Sequence[int]) -> Point:
+        """Apply a functional map to one point of the input space."""
+        if isinstance(point, Point):
+            env = point.env()
+        else:
+            env = env_from(self.in_space, point)
+        return Point(self.out_space, self.apply_env(env))
+
+    def apply_chunk(self, env: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Vectorised application: input chunk -> output chunk (keyed by out dims)."""
+        self._require_functional()
+        return {
+            dim: expr.evaluate_vec(env)
+            for dim, expr in zip(self.out_space.dims, self.out_exprs)
+        }
+
+    def image_array(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorised application returning an ``(N, out_rank)`` array."""
+        out = self.apply_chunk(env)
+        return chunk_to_array(out, self.out_space.dims)
+
+    # -- composition -------------------------------------------------------------------
+
+    def compose(self, other: "IntMap") -> "IntMap":
+        """``self.compose(other)`` is ISL's ``apply_range``: ``x -> other(self(x))``.
+
+        Both maps must be functional.  ``other``'s input space is matched to
+        ``self``'s output space positionally; ``other``'s own domain
+        constraints are assumed to be implied by ``self``'s domain (true for
+        the relation chains used in the paper, where the access function is
+        total over the iteration domain).
+        """
+        self._require_functional()
+        other._require_functional()
+        if other.in_space.rank != self.out_space.rank:
+            raise SpaceError(
+                f"cannot compose {self.out_space} with {other.in_space}: rank mismatch"
+            )
+        mapping = {
+            dim: expr for dim, expr in zip(other.in_space.dims, self.out_exprs)
+        }
+        new_exprs = tuple(expr.substitute(mapping) for expr in other.out_exprs)
+        return IntMap(
+            self.in_space,
+            other.out_space,
+            out_exprs=new_exprs,
+            domain=self.domain,
+        )
+
+    apply_range = compose
+
+    def range_box(self) -> IntSet:
+        """A bounding box of the map's image (functional maps with a domain only).
+
+        The box is computed by interval arithmetic over the output expressions
+        and is used to give reversed maps an enumerable domain; the equality
+        constraints of the reversed map keep membership exact.
+        """
+        self._require_functional()
+        if self.domain is None:
+            raise UnboundedSetError(f"map {self} has no domain; cannot bound its range")
+        domain_bounds = self.domain.derived_bounds()
+        inclusive = {dim: (lo, hi - 1) for dim, (lo, hi) in domain_bounds.items()}
+        box: dict[str, tuple[int, int]] = {}
+        for dim, expr in zip(self.out_space.dims, self.out_exprs):
+            lo, hi = expr.bounds(inclusive)
+            box[dim] = (lo, hi + 1)
+        return IntSet.box(self.out_space, box)
+
+    def reverse(self) -> "IntMap":
+        """Swap input and output (ISL's ``isl_union_map_reverse``).
+
+        The result is a general relation: the functional form, if any, is
+        encoded as equality constraints.  For functional maps with a bounded
+        domain, the reversed map's domain is the bounding box of the original
+        image so that pair enumeration stays possible.
+        """
+        constraints = list(self.constraints)
+        if self.is_functional:
+            for dim, expr in zip(self.out_space.dims, self.out_exprs):
+                constraints.append(Constraint.eq(AffExpr.variable(dim), expr))
+        new_domain = self.range_
+        if new_domain is None and self.is_functional and self.domain is not None:
+            new_domain = self.range_box()
+        return IntMap(
+            self.out_space,
+            self.in_space,
+            out_exprs=None,
+            constraints=constraints,
+            domain=new_domain,
+            range_=self.domain,
+        )
+
+    # -- restriction -------------------------------------------------------------------
+
+    def intersect_domain(self, domain: IntSet) -> "IntMap":
+        new_domain = domain if self.domain is None else self.domain.intersect(domain)
+        return IntMap(
+            self.in_space,
+            self.out_space,
+            out_exprs=self.out_exprs,
+            constraints=self.constraints,
+            domain=new_domain,
+            range_=self.range_,
+        )
+
+    def intersect_range(self, range_: IntSet) -> "IntMap":
+        new_range = range_ if self.range_ is None else self.range_.intersect(range_)
+        return IntMap(
+            self.in_space,
+            self.out_space,
+            out_exprs=self.out_exprs,
+            constraints=self.constraints,
+            domain=self.domain,
+            range_=new_range,
+        )
+
+    # -- membership ----------------------------------------------------------------------
+
+    def contains(self, in_coords: Sequence[int], out_coords: Sequence[int]) -> bool:
+        env = env_from(self.in_space, in_coords)
+        env.update(env_from(self.out_space, out_coords))
+        if self.domain is not None and not self.domain.contains(in_coords):
+            return False
+        if self.range_ is not None and not self.range_.contains(out_coords):
+            return False
+        if self.is_functional:
+            expected = self.apply_env(env)
+            if tuple(int(c) for c in out_coords) != expected:
+                return False
+        return all(constraint.satisfied(env) for constraint in self.constraints)
+
+    def contains_pairs_vec(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorised membership test for candidate (in, out) pairs.
+
+        ``env`` must bind both input and output dimension names to arrays.
+        """
+        mask: np.ndarray | None = None
+        if self.is_functional:
+            for dim, expr in zip(self.out_space.dims, self.out_exprs):
+                ok = env[dim] == expr.evaluate_vec(env)
+                mask = ok if mask is None else mask & ok
+        for constraint in self.constraints:
+            ok = constraint.satisfied_vec(env)
+            mask = ok if mask is None else mask & ok
+        if self.domain is not None:
+            ok = self.domain.contains_vec(env)
+            mask = ok if mask is None else mask & ok
+        if self.range_ is not None:
+            ok = self.range_.contains_vec(env)
+            mask = ok if mask is None else mask & ok
+        if mask is None:
+            length = chunk_length({d: env[d] for d in self.in_space.dims})
+            return np.ones(length, dtype=bool)
+        return mask
+
+    # -- enumeration ----------------------------------------------------------------------
+
+    def _pair_bounds(self) -> dict[str, tuple[int, int]]:
+        bounds: dict[str, tuple[int, int]] = {}
+        if self.domain is None:
+            raise UnboundedSetError(f"map {self} has no domain; cannot enumerate pairs")
+        bounds.update(self.domain.derived_bounds())
+        if self.is_functional:
+            return bounds
+        if self.range_ is None:
+            # try to derive output bounds from the constraints alone
+            probe = IntSet(Space("", self.out_space.dims), [
+                c for c in self.constraints if c.variables() <= set(self.out_space.dims)
+            ])
+            bounds.update(probe.derived_bounds())
+        else:
+            bounds.update(self.range_.derived_bounds())
+        return bounds
+
+    def pairs_chunks(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[dict[str, np.ndarray]]:
+        """Yield chunks of (input, output) pairs as per-dimension arrays."""
+        if self.is_functional:
+            for chunk in self.domain.chunks(chunk_size):
+                if self.constraints:
+                    chunk = filter_chunk(chunk, self.constraints)
+                    if not chunk_length(chunk):
+                        continue
+                out = self.apply_chunk(chunk)
+                merged = dict(chunk)
+                merged.update(out)
+                if self.range_ is not None:
+                    mask = self.range_.contains_vec(merged)
+                    merged = {k: v[mask] for k, v in merged.items()}
+                if chunk_length(merged):
+                    yield merged
+            return
+        bounds = self._pair_bounds()
+        dims = tuple(self.in_space.dims) + tuple(self.out_space.dims)
+        for chunk in iter_box_chunks(bounds, dims, chunk_size):
+            mask = self.contains_pairs_vec(chunk)
+            filtered = {k: v[mask] for k, v in chunk.items()}
+            if chunk_length(filtered):
+                yield filtered
+
+    def pairs_array(self, chunk_size: int = DEFAULT_CHUNK) -> np.ndarray:
+        """All pairs as an ``(N, in_rank + out_rank)`` array."""
+        dims = tuple(self.in_space.dims) + tuple(self.out_space.dims)
+        parts = [chunk_to_array(chunk, dims) for chunk in self.pairs_chunks(chunk_size)]
+        if not parts:
+            return np.zeros((0, len(dims)), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
+    def count_pairs(self, chunk_size: int = DEFAULT_CHUNK) -> int:
+        """Number of (input, output) pairs (the map's cardinality)."""
+        if self.is_functional and not self.constraints and self.range_ is None:
+            return self.domain.count() if self.domain is not None else 0
+        return sum(chunk_length(chunk) for chunk in self.pairs_chunks(chunk_size))
+
+    # -- formatting -----------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_functional:
+            out = f"{self.out_space.name}[{', '.join(str(e) for e in self.out_exprs)}]"
+        else:
+            out = str(self.out_space)
+        conditions = [str(c) for c in self.constraints]
+        if self.domain is not None and self.domain.constraints:
+            conditions.extend(str(c) for c in self.domain.constraints)
+        tail = f" : {' and '.join(conditions)}" if conditions else ""
+        return f"{{ {self.in_space} -> {out}{tail} }}"
+
+    def __repr__(self) -> str:
+        return f"IntMap({self})"

@@ -1,0 +1,374 @@
+"""ISL-like string syntax for sets and relations.
+
+The notation mirrors the paper's examples directly, e.g.::
+
+    parse_map("{ S[i,j,k] -> PE[i mod 8, j mod 8] : 0 <= i,j < 64 and 0 <= k < 16 }")
+    parse_map("{ PE[i,j] -> PE[i',j'] : (i' = i and j' = j + 1) or (i' = i + 1 and j' = j) }")
+    parse_set("{ PE[i,j] : 0 <= i < 8 and 0 <= j < 8 }")
+
+Supported expression syntax: integer literals, dimension names, ``+``, ``-``,
+``*`` (by an integer), ``e mod N`` / ``e % N``, ``floor(e / N)`` (``fl`` is an
+accepted abbreviation, matching Table III), and ``abs(e)``.  Conditions are
+(chained) comparisons combined with ``and`` / ``or``; ``or`` produces a union.
+A comma-separated left-hand side in a chained comparison, such as
+``0 <= i,j < 64``, expands to one chain per listed expression.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParseError
+from repro.isl.constraint import Constraint
+from repro.isl.expr import AffExpr
+from repro.isl.imap import IntMap
+from repro.isl.iset import IntSet
+from repro.isl.space import Space
+from repro.isl.union import UnionMap, UnionSet
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<arrow>->)"
+    r"|(?P<num>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*'*)"
+    r"|(?P<op><=|>=|==|!=|[{}\[\](),:+\-*/%<>=])"
+    r")"
+)
+
+_KEYWORDS = {"and", "or", "mod", "floor", "fl", "abs"}
+
+
+@dataclass
+class _Token:
+    kind: str  # "arrow" | "num" | "name" | "op" | "kw" | "end"
+    text: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize {remainder[:20]!r} in relation string")
+        pos = match.end()
+        if match.lastgroup == "name" and match.group("name") in _KEYWORDS:
+            tokens.append(_Token("kw", match.group("name")))
+        elif match.lastgroup is not None:
+            tokens.append(_Token(match.lastgroup, match.group(match.lastgroup)))
+    tokens.append(_Token("end", ""))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind!r} but found {token.text!r} in {self.text!r}"
+            )
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_relation(self):
+        self.expect("op", "{")
+        in_name, in_entries = self.parse_tuple()
+        out_tuple = None
+        if self.accept("arrow"):
+            out_tuple = self.parse_tuple()
+        disjuncts: list[list[Constraint]] = [[]]
+        if self.accept("op", ":"):
+            disjuncts = self.parse_condition()
+        self.expect("op", "}")
+        if self.peek().kind != "end":
+            raise ParseError(f"unexpected trailing input in {self.text!r}")
+        return in_name, in_entries, out_tuple, disjuncts
+
+    def parse_tuple(self) -> tuple[str, list[AffExpr]]:
+        name = ""
+        if self.peek().kind == "name":
+            name = self.next().text
+        self.expect("op", "[")
+        entries: list[AffExpr] = []
+        if not self.accept("op", "]"):
+            entries.append(self.parse_expr())
+            while self.accept("op", ","):
+                entries.append(self.parse_expr())
+            self.expect("op", "]")
+        return name, entries
+
+    # condition := conj ('or' conj)*  -> DNF as list of constraint lists
+    def parse_condition(self) -> list[list[Constraint]]:
+        result = self.parse_conjunction()
+        while self.accept("kw", "or"):
+            result = result + self.parse_conjunction()
+        return result
+
+    def parse_conjunction(self) -> list[list[Constraint]]:
+        result = self.parse_condition_atom()
+        while self.accept("kw", "and"):
+            right = self.parse_condition_atom()
+            result = [left + extra for left in result for extra in right]
+        return result
+
+    def parse_condition_atom(self) -> list[list[Constraint]]:
+        if self.peek().kind == "op" and self.peek().text == "(" and self._looks_like_condition():
+            self.expect("op", "(")
+            inner = self.parse_condition()
+            self.expect("op", ")")
+            return inner
+        return [self.parse_chain()]
+
+    def _looks_like_condition(self) -> bool:
+        """Lookahead: does the parenthesis at the cursor wrap a condition (vs an expression)?"""
+        depth = 0
+        for token in self.tokens[self.index:]:
+            if token.kind == "op" and token.text == "(":
+                depth += 1
+            elif token.kind == "op" and token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth >= 1:
+                if token.kind == "kw" and token.text in ("and", "or"):
+                    return True
+                if token.kind == "op" and token.text in ("<", "<=", ">", ">=", "=", "=="):
+                    return True
+            elif token.kind == "end":
+                break
+        return False
+
+    def parse_chain(self) -> list[Constraint]:
+        left_group = [self.parse_expr()]
+        while self.accept("op", ","):
+            left_group.append(self.parse_expr())
+        constraints: list[Constraint] = []
+        ops: list[str] = []
+        groups: list[list[AffExpr]] = [left_group]
+        while self.peek().kind == "op" and self.peek().text in ("<", "<=", ">", ">=", "=", "=="):
+            op = self.next().text
+            group = [self.parse_expr()]
+            while self.accept("op", ","):
+                group.append(self.parse_expr())
+            ops.append(op)
+            groups.append(group)
+        if not ops:
+            raise ParseError(f"expected a comparison in condition of {self.text!r}")
+        for position, op in enumerate(ops):
+            for lhs in groups[position]:
+                for rhs in groups[position + 1]:
+                    constraints.append(_make_constraint(lhs, op, rhs))
+        return constraints
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> AffExpr:
+        expr = self.parse_term()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            op = self.next().text
+            term = self.parse_term()
+            expr = expr + term if op == "+" else expr - term
+        return expr
+
+    def parse_term(self) -> AffExpr:
+        expr = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text == "*":
+                self.next()
+                rhs = self.parse_unary()
+                expr = _multiply(expr, rhs)
+            elif token.kind == "op" and token.text == "%":
+                self.next()
+                rhs = self.parse_unary()
+                expr = expr % _require_const(rhs, "mod")
+            elif token.kind == "kw" and token.text == "mod":
+                self.next()
+                rhs = self.parse_unary()
+                expr = expr % _require_const(rhs, "mod")
+            elif token.kind == "op" and token.text == "/":
+                self.next()
+                rhs = self.parse_unary()
+                expr = expr // _require_const(rhs, "division")
+            else:
+                return expr
+
+    def parse_unary(self) -> AffExpr:
+        token = self.peek()
+        if token.kind == "op" and token.text == "-":
+            self.next()
+            return -self.parse_unary()
+        if token.kind == "op" and token.text == "+":
+            self.next()
+            return self.parse_unary()
+        if token.kind == "num":
+            self.next()
+            return AffExpr.constant(int(token.text))
+        if token.kind == "kw" and token.text in ("floor", "fl"):
+            # ``floor(e / N)``: the division inside already produces the floor
+            # term (all divisions in this dialect are integer floor divisions).
+            self.next()
+            self.expect("op", "(")
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "kw" and token.text == "abs":
+            self.next()
+            self.expect("op", "(")
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner.abs()
+        if token.kind == "name":
+            self.next()
+            return AffExpr.variable(token.text)
+        if token.kind == "op" and token.text == "(":
+            self.next()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r} in expression of {self.text!r}")
+
+
+def _require_const(expr: AffExpr, operation: str) -> int:
+    if not expr.is_constant:
+        raise ParseError(f"{operation} requires an integer constant, got '{expr}'")
+    return expr.const
+
+
+def _multiply(lhs: AffExpr, rhs: AffExpr) -> AffExpr:
+    if rhs.is_constant:
+        return lhs * rhs.const
+    if lhs.is_constant:
+        return rhs * lhs.const
+    raise ParseError(f"cannot multiply two non-constant expressions '{lhs}' and '{rhs}'")
+
+
+def _make_constraint(lhs: AffExpr, op: str, rhs: AffExpr) -> Constraint:
+    if op in ("=", "=="):
+        return Constraint.eq(lhs, rhs)
+    if op == "<=":
+        return Constraint.le(lhs, rhs)
+    if op == "<":
+        return Constraint.lt(lhs, rhs)
+    if op == ">=":
+        return Constraint.ge(lhs, rhs)
+    if op == ">":
+        return Constraint.gt(lhs, rhs)
+    raise ParseError(f"unsupported comparison operator {op!r}")
+
+
+def _entries_as_dims(entries: Sequence[AffExpr], what: str) -> list[str]:
+    dims = []
+    for entry in entries:
+        if entry.is_affine and entry.const == 0 and len(entry.terms) == 1:
+            (name, coeff), = entry.terms.items()
+            if coeff == 1:
+                dims.append(name)
+                continue
+        raise ParseError(f"{what} tuple entries must be plain dimension names, got '{entry}'")
+    return dims
+
+
+def parse_expr(text: str, *, _parser: _Parser | None = None) -> AffExpr:
+    """Parse a standalone quasi-affine expression such as ``"i mod 8 + floor(j/4)"``."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    if parser.peek().kind != "end":
+        raise ParseError(f"unexpected trailing input in expression {text!r}")
+    return expr
+
+
+def parse_set(text: str) -> IntSet | UnionSet:
+    """Parse a set string such as ``"{ PE[i,j] : 0 <= i,j < 8 }"``."""
+    parser = _Parser(text)
+    name, entries, out_tuple, disjuncts = parser.parse_relation()
+    if out_tuple is not None:
+        raise ParseError(f"{text!r} is a map, not a set; use parse_map")
+    dims = _entries_as_dims(entries, "set")
+    space = Space(name, dims)
+    pieces = [IntSet(space, constraints) for constraints in disjuncts]
+    return pieces[0] if len(pieces) == 1 else UnionSet(pieces)
+
+
+def parse_map(text: str) -> IntMap | UnionMap:
+    """Parse a relation string such as ``"{ S[i,j] -> PE[i mod 8] : 0 <= i < 64 }"``.
+
+    The output tuple may either list fresh dimension names (a general
+    relation, e.g. interconnect adjacency) or expressions over the input
+    dimensions (a functional map, e.g. a dataflow or access function).
+    """
+    parser = _Parser(text)
+    in_name, in_entries, out_tuple, disjuncts = parser.parse_relation()
+    if out_tuple is None:
+        raise ParseError(f"{text!r} is a set, not a map; use parse_set")
+    in_dims = _entries_as_dims(in_entries, "input")
+    in_space = Space(in_name, in_dims)
+    out_name, out_entries = out_tuple
+
+    fresh_names: list[str] | None = []
+    for entry in out_entries:
+        if (
+            entry.is_affine
+            and entry.const == 0
+            and len(entry.terms) == 1
+            and list(entry.terms.values()) == [1]
+            and list(entry.terms)[0] not in in_dims
+        ):
+            fresh_names.append(list(entry.terms)[0])
+        else:
+            fresh_names = None
+            break
+
+    pieces: list[IntMap] = []
+    for constraints in disjuncts:
+        in_only = [c for c in constraints if c.variables() <= set(in_dims)]
+        mixed = [c for c in constraints if not (c.variables() <= set(in_dims))]
+        domain = IntSet(in_space, in_only) if in_only else None
+        if fresh_names is not None and out_entries:
+            out_space = Space(out_name, fresh_names)
+            pieces.append(
+                IntMap(in_space, out_space, out_exprs=None, constraints=mixed, domain=domain)
+            )
+        else:
+            for constraint in mixed:
+                extra = constraint.variables() - set(in_dims)
+                raise ParseError(
+                    f"constraint '{constraint}' of functional map uses unknown names {sorted(extra)}"
+                )
+            prefix = (out_name.lower() or "o")
+            out_dims = [f"{prefix}{i}" for i in range(len(out_entries))]
+            out_space = Space(out_name, out_dims)
+            pieces.append(
+                IntMap(in_space, out_space, out_exprs=tuple(out_entries), domain=domain)
+            )
+    return pieces[0] if len(pieces) == 1 else UnionMap(pieces)

@@ -1,0 +1,112 @@
+"""Named tuple spaces.
+
+A :class:`Space` identifies the universe a set or one side of a relation lives
+in: a tuple name (``S``, ``PE``, ``T``, or a tensor name such as ``A``) and an
+ordered list of dimension names.  Dimension names double as the variable names
+used in quasi-affine expressions, so they must be unique within a space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SpaceError
+
+
+@dataclass(frozen=True)
+class Space:
+    """A named integer tuple space, e.g. ``S[i, j, k]`` or ``PE[p0, p1]``."""
+
+    name: str
+    dims: tuple[str, ...]
+
+    def __init__(self, name: str, dims: Sequence[str]):
+        dims = tuple(str(d) for d in dims)
+        if len(set(dims)) != len(dims):
+            raise SpaceError(f"duplicate dimension names in space {name}[{', '.join(dims)}]")
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "dims", dims)
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions in the space."""
+        return len(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def index(self, dim: str) -> int:
+        """Position of dimension ``dim`` within the space."""
+        try:
+            return self.dims.index(dim)
+        except ValueError as exc:
+            raise SpaceError(f"space {self} has no dimension named {dim!r}") from exc
+
+    def has_dim(self, dim: str) -> bool:
+        return dim in self.dims
+
+    # -- derived spaces ------------------------------------------------------
+
+    def renamed(self, new_dims: Sequence[str]) -> "Space":
+        """Return a space with the same tuple name but new dimension names."""
+        if len(new_dims) != len(self.dims):
+            raise SpaceError(
+                f"cannot rename {self}: expected {len(self.dims)} names, got {len(new_dims)}"
+            )
+        return Space(self.name, tuple(new_dims))
+
+    def primed(self) -> "Space":
+        """Return a copy with every dimension name suffixed by a prime.
+
+        Used to keep input and output dimension names distinct when both
+        sides of a relation use the same space (e.g. ``PE -> PE``).
+        """
+        return Space(self.name, tuple(f"{d}'" for d in self.dims))
+
+    def with_name(self, name: str) -> "Space":
+        return Space(name, self.dims)
+
+    def disjoint_from(self, other: "Space") -> bool:
+        """True when the two spaces share no dimension names."""
+        return not set(self.dims) & set(other.dims)
+
+    # -- formatting ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{self.name}[{', '.join(self.dims)}]"
+
+    def __repr__(self) -> str:
+        return f"Space({self.name!r}, {list(self.dims)!r})"
+
+
+def ensure_disjoint(in_space: Space, out_space: Space) -> Space:
+    """Return ``out_space`` with dimensions renamed so they do not collide.
+
+    Relations store constraints over the union of input and output dimension
+    names, so the two sides must not share names.  Colliding output dimensions
+    are primed (``i`` becomes ``i'``); the primes stack if necessary.
+    """
+    taken = set(in_space.dims)
+    new_dims = []
+    for dim in out_space.dims:
+        candidate = dim
+        while candidate in taken or candidate in new_dims:
+            candidate = candidate + "'"
+        new_dims.append(candidate)
+    if tuple(new_dims) == out_space.dims:
+        return out_space
+    return out_space.renamed(new_dims)
+
+
+def flatten_dims(spaces: Iterable[Space]) -> tuple[str, ...]:
+    """Concatenate the dimension names of several spaces (must be disjoint)."""
+    dims: list[str] = []
+    for space in spaces:
+        for dim in space.dims:
+            if dim in dims:
+                raise SpaceError(f"dimension {dim!r} appears in more than one space")
+            dims.append(dim)
+    return tuple(dims)

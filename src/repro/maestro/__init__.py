@@ -1,0 +1,34 @@
+"""Data-centric (MAESTRO-style) notation and polynomial cost model.
+
+This package is the comparison baseline of the evaluation.  It reimplements
+the *data-centric* notation — ``SpatialMap`` / ``TemporalMap`` / ``Cluster``
+directives — together with a polynomial cost model that estimates reuse,
+latency, utilisation and bandwidth the way the paper describes MAESTRO doing
+it (Sections II-C, VI-E):
+
+* reuse is a product of loop extents, not a relation count;
+* only dimensions explicitly named by a directive participate: a coupled
+  subscript such as ``A[i + j]`` or ``A[ox + rx]`` cannot be expressed, so
+  only its leading dimension is credited (this reproduces the Figure 1(c)
+  overestimate: actual reuse 6, data-centric estimate 8);
+* no reuse is ever reported for output tensors;
+* only the innermost temporal dimension contributes temporal reuse.
+
+The model is intentionally cheap (a handful of arithmetic operations), which
+is what Figure 8's runtime comparison measures.
+"""
+
+from repro.maestro.directives import Cluster, DataCentricMapping, SpatialMap, TemporalMap
+from repro.maestro.model import MaestroModel, MaestroReport
+from repro.maestro.convert import mapping_to_dataflow, default_mapping_for
+
+__all__ = [
+    "SpatialMap",
+    "TemporalMap",
+    "Cluster",
+    "DataCentricMapping",
+    "MaestroModel",
+    "MaestroReport",
+    "mapping_to_dataflow",
+    "default_mapping_for",
+]

@@ -1,0 +1,132 @@
+"""Bridging the data-centric and relation-centric notations.
+
+Two directions are provided:
+
+* :func:`mapping_to_dataflow` — every data-centric mapping (without clusters)
+  is expressible as a relation-centric dataflow: spatially mapped dimensions
+  become PE-array axes (with a modulus fold when the dimension exceeds the
+  array), temporally mapped dimensions become time-stamp axes in directive
+  order.  This is the containment argument of Table I: the data-centric space
+  is a subset of the relation-centric space.
+* :func:`default_mapping_for` — the best-effort data-centric mapping for a
+  Table III dataflow name, used when the baseline model needs an input for a
+  dataflow the data-centric notation *can* express.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import Dataflow
+from repro.errors import ModelError
+from repro.isl.expr import AffExpr, var
+from repro.maestro.directives import (
+    Cluster,
+    DataCentricMapping,
+    SpatialMap,
+    TemporalMap,
+)
+from repro.tensor.operation import TensorOp
+
+
+def mapping_to_dataflow(
+    mapping: DataCentricMapping,
+    op: TensorOp,
+    pe_dims: tuple[int, ...],
+) -> Dataflow:
+    """Convert a cluster-free data-centric mapping into a relation-centric dataflow.
+
+    The i-th ``SpatialMap`` is assigned to the i-th PE-array axis; when the
+    mapped extent exceeds that axis the dimension is folded with a modulus and
+    the quotient becomes an outer time-stamp axis.  ``TemporalMap`` directives
+    become time-stamp axes in order.  Unmapped loop dimensions are appended as
+    outermost time-stamp axes so the dataflow stays complete.
+    """
+    if mapping.cluster_sizes:
+        raise ModelError(
+            "cluster-based mappings have no direct single-level relation-centric "
+            "equivalent; model them directly with Dataflow.from_exprs"
+        )
+    sizes = op.loop_sizes()
+    spatial = [d for d in mapping.directives if isinstance(d, SpatialMap)]
+    temporal = [d for d in mapping.directives if isinstance(d, TemporalMap)]
+    if len(spatial) > len(pe_dims):
+        raise ModelError(
+            f"mapping {mapping.name!r} has {len(spatial)} spatial maps but the PE array "
+            f"has only {len(pe_dims)} dimensions"
+        )
+
+    pe_exprs: list[AffExpr] = []
+    fold_time_exprs: list[AffExpr] = []
+    for directive, extent in zip(spatial, pe_dims):
+        dim_size = sizes.get(directive.dim, 1)
+        dimension = var(directive.dim)
+        if dim_size > extent:
+            pe_exprs.append(dimension % extent)
+            fold_time_exprs.append(dimension // extent)
+        else:
+            pe_exprs.append(dimension)
+    while len(pe_exprs) < len(pe_dims):
+        pe_exprs.append(AffExpr.constant(0))
+
+    mapped = {d.dim for d in spatial} | {d.dim for d in temporal}
+    unmapped = [dim for dim in op.loop_dims if dim not in mapped]
+
+    time_exprs: list[AffExpr] = [var(dim) for dim in unmapped]
+    time_exprs.extend(fold_time_exprs)
+    time_exprs.extend(var(d.dim) for d in temporal)
+    if not time_exprs:
+        time_exprs = [AffExpr.constant(0)]
+
+    return Dataflow.from_exprs(mapping.name, op.domain.space, pe_exprs, time_exprs)
+
+
+def default_mapping_for(kernel: str, dataflow_name: str) -> DataCentricMapping:
+    """The data-centric mapping matching a Table III dataflow name.
+
+    Only dataflows marked as data-centric expressible in Table III are
+    available; asking for a TENET-only dataflow raises ``ModelError``.
+    """
+    kernel = kernel.lower()
+    key = (kernel, dataflow_name)
+    if key in _MAPPINGS:
+        return _MAPPINGS[key]
+    raise ModelError(
+        f"no data-centric mapping for {dataflow_name!r} on kernel {kernel!r}; "
+        "this dataflow needs the relation-centric notation"
+    )
+
+
+_MAPPINGS: dict[tuple[str, str], DataCentricMapping] = {
+    ("gemm", "(K-P | I,J-T)"): DataCentricMapping(
+        "(K-P | I,J-T)",
+        [SpatialMap("k"), TemporalMap("i"), TemporalMap("j")],
+    ),
+    ("gemm", "(J-P | I,K-T)"): DataCentricMapping(
+        "(J-P | I,K-T)",
+        [SpatialMap("j"), TemporalMap("i"), TemporalMap("k")],
+    ),
+    ("conv2d", "(K-P | OX,OY-T)"): DataCentricMapping(
+        "(K-P | OX,OY-T)",
+        [SpatialMap("k"), TemporalMap("c"), TemporalMap("rx"), TemporalMap("ry"),
+         TemporalMap("ox"), TemporalMap("oy")],
+    ),
+    ("conv2d", "(C-P | OY,OX-T)"): DataCentricMapping(
+        "(C-P | OY,OX-T)",
+        [SpatialMap("c"), TemporalMap("k"), TemporalMap("rx"), TemporalMap("ry"),
+         TemporalMap("oy"), TemporalMap("ox")],
+    ),
+    ("conv2d", "(OYOX-P | OY,OX-T)"): DataCentricMapping(
+        "(OYOX-P | OY,OX-T)",
+        [SpatialMap("oy"), Cluster(8), SpatialMap("ox"), TemporalMap("k"),
+         TemporalMap("c"), TemporalMap("ry"), TemporalMap("rx")],
+    ),
+    ("conv2d", "(KC-P | OY,OX-T)"): DataCentricMapping(
+        "(KC-P | OY,OX-T)",
+        [SpatialMap("k"), Cluster(8), SpatialMap("c"), TemporalMap("ry"),
+         TemporalMap("rx"), TemporalMap("oy"), TemporalMap("ox")],
+    ),
+    ("conv2d", "(RYOY-P | OY,OX-T)"): DataCentricMapping(
+        "(RYOY-P | OY,OX-T)",
+        [TemporalMap("c", 4, 4), TemporalMap("k", 16, 16), SpatialMap("oy"),
+         Cluster(3), SpatialMap("ry"), TemporalMap("rx"), TemporalMap("ox")],
+    ),
+}

@@ -1,0 +1,34 @@
+"""Scratchpad traffic and stall accounting for the reference simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScratchpadModel:
+    """Counts words moved between the PE array and the scratchpad."""
+
+    bandwidth_words_per_cycle: float
+    reads_per_tensor: dict[str, int] = field(default_factory=dict)
+    writes_per_tensor: dict[str, int] = field(default_factory=dict)
+
+    def read(self, tensor: str, count: int = 1) -> None:
+        self.reads_per_tensor[tensor] = self.reads_per_tensor.get(tensor, 0) + count
+
+    def write(self, tensor: str, count: int = 1) -> None:
+        self.writes_per_tensor[tensor] = self.writes_per_tensor.get(tensor, 0) + count
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads_per_tensor.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes_per_tensor.values())
+
+    def cycles_for(self, words: int) -> float:
+        """Cycles needed to move ``words`` at the configured bandwidth."""
+        if self.bandwidth_words_per_cycle <= 0:
+            return float("inf") if words else 0.0
+        return words / self.bandwidth_words_per_cycle

@@ -1,0 +1,41 @@
+"""Tensor-operation frontend: loop-nest IR and kernel factories.
+
+A :class:`~repro.tensor.operation.TensorOp` bundles the pieces Section II-B of
+the paper defines for a perfectly-nested single-statement loop:
+
+* the **iteration domain** ``D_S`` as an :class:`repro.isl.IntSet`, and
+* one **access function** ``A_{S,F} = { S[n] -> F[f] }`` per tensor reference.
+
+Operations can be built three ways: through the kernel factories in
+:mod:`repro.tensor.kernels` (GEMM, 2D-CONV, MTTKRP, MMc, Jacobi-2D, 1D-CONV),
+by parsing a C-like loop nest (:mod:`repro.tensor.c_frontend`, the "tensor
+operation written in C" input of Figure 2), or from an einsum-like statement
+string (:mod:`repro.tensor.einsum_frontend`).
+"""
+
+from repro.tensor.access import AccessMode, TensorAccess
+from repro.tensor.operation import TensorOp
+from repro.tensor.kernels import (
+    conv1d,
+    conv2d,
+    gemm,
+    jacobi2d,
+    mmc,
+    mttkrp,
+)
+from repro.tensor.c_frontend import parse_c_loop_nest
+from repro.tensor.einsum_frontend import parse_einsum
+
+__all__ = [
+    "AccessMode",
+    "TensorAccess",
+    "TensorOp",
+    "gemm",
+    "conv1d",
+    "conv2d",
+    "mttkrp",
+    "mmc",
+    "jacobi2d",
+    "parse_c_loop_nest",
+    "parse_einsum",
+]

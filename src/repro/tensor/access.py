@@ -1,0 +1,55 @@
+"""Tensor access functions.
+
+An access function relates loop instances to the tensor elements they touch
+(Equation 1 of the paper): ``A_{S,F} = { S[n] -> F[f] }``.  A statement may
+reference the same tensor several times (Jacobi-2D reads ``A`` five times);
+each reference is one :class:`TensorAccess`, and the union of a tensor's
+references forms its full access relation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isl.imap import IntMap
+
+
+class AccessMode(enum.Enum):
+    """How a reference touches the tensor."""
+
+    READ = "read"
+    WRITE = "write"
+    #: Read-modify-write, e.g. the accumulation ``Y[i,j] += ...``.
+    UPDATE = "update"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.UPDATE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.UPDATE)
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """One textual reference to a tensor inside the statement."""
+
+    tensor: str
+    mode: AccessMode
+    relation: IntMap
+
+    def __post_init__(self):
+        if not self.relation.is_functional:
+            raise ValueError(
+                f"access function for tensor {self.tensor!r} must be a functional map"
+            )
+
+    @property
+    def rank(self) -> int:
+        """Rank of the accessed tensor."""
+        return self.relation.out_space.rank
+
+    def __str__(self) -> str:
+        return f"{self.mode.value}: {self.relation}"

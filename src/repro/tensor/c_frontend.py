@@ -1,0 +1,112 @@
+"""A small C-like loop-nest frontend.
+
+Figure 2 shows TENET taking "a tensor operation written in C" as input.  This
+module parses the subset the paper relies on: a perfectly-nested ``for`` loop
+with constant bounds and unit step, wrapping a single update or assignment
+statement whose subscripts are affine in the iterators, e.g.::
+
+    for (i = 0; i < 64; i++)
+      for (j = 0; j < 64; j++)
+        for (k = 0; k < 64; k++)
+          Y[i][j] += A[i][k] * B[k][j];
+
+Both ``Y[i][j]`` and ``Y[i, j]`` subscript styles are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.isl.iset import IntSet
+from repro.isl.parser import parse_expr
+from repro.isl.imap import IntMap
+from repro.isl.space import Space
+from repro.tensor.access import AccessMode, TensorAccess
+from repro.tensor.operation import TensorOp
+
+_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:int\s+)?(?P<var>[A-Za-z_]\w*)\s*=\s*(?P<lo>-?\d+)\s*;"
+    r"\s*(?P=var)\s*(?P<cmp><=|<)\s*(?P<hi>-?\d+)\s*;"
+    r"\s*(?:(?P=var)\s*\+\+|\+\+\s*(?P=var)|(?P=var)\s*\+=\s*1)\s*\)"
+)
+
+_STMT_RE = re.compile(
+    r"^(?P<lhs>[A-Za-z_]\w*\s*(?:\[[^\]]+\])+)\s*(?P<op>\+=|=)\s*(?P<rhs>.+?);?$"
+)
+
+_REF_RE = re.compile(r"(?P<tensor>[A-Za-z_]\w*)\s*(?P<subs>(?:\[[^\]]+\])+)")
+
+
+def _split_subscripts(subscript_text: str) -> list[str]:
+    """Split ``[i][j+1]`` or ``[i, j+1]`` into individual index expressions."""
+    groups = re.findall(r"\[([^\]]*)\]", subscript_text)
+    indices: list[str] = []
+    for group in groups:
+        indices.extend(part.strip() for part in group.split(","))
+    return [index for index in indices if index]
+
+
+def parse_c_loop_nest(source: str, name: str = "kernel") -> TensorOp:
+    """Parse a C-like perfectly-nested loop into a :class:`TensorOp`."""
+    text = source.strip()
+    if not text:
+        raise ParseError("empty loop nest")
+
+    loops: list[tuple[str, int, int]] = []
+    position = 0
+    while True:
+        match = _FOR_RE.search(text, position)
+        if not match:
+            break
+        lo = int(match.group("lo"))
+        hi = int(match.group("hi"))
+        if match.group("cmp") == "<=":
+            hi += 1
+        loops.append((match.group("var"), lo, hi))
+        position = match.end()
+    if not loops:
+        raise ParseError("no for-loops found in the loop nest")
+
+    statement_text = text[position:]
+    # Drop braces and labels such as "S:"
+    statement_text = statement_text.replace("{", " ").replace("}", " ")
+    statement_text = re.sub(r"^\s*[A-Za-z_]\w*\s*:", "", statement_text.strip())
+    statement_text = " ".join(statement_text.split())
+    match = _STMT_RE.match(statement_text)
+    if not match:
+        raise ParseError(f"cannot parse statement {statement_text!r}")
+
+    iterators = [loop[0] for loop in loops]
+    if len(set(iterators)) != len(iterators):
+        raise ParseError("loop iterators must be distinct")
+    space = Space("S", iterators)
+    domain = IntSet.box(space, {var: (lo, hi) for var, lo, hi in loops})
+
+    accesses: list[TensorAccess] = []
+
+    def add_reference(tensor: str, subscripts: str, mode: AccessMode) -> None:
+        exprs = []
+        for index_text in _split_subscripts(subscripts):
+            expr = parse_expr(index_text)
+            unknown = expr.variables() - set(iterators)
+            if unknown:
+                raise ParseError(
+                    f"subscript {index_text!r} of {tensor} uses unknown names {sorted(unknown)}"
+                )
+            exprs.append(expr)
+        relation = IntMap.from_exprs(space, tensor, exprs, domain=domain)
+        accesses.append(TensorAccess(tensor, mode, relation))
+
+    lhs_match = _REF_RE.match(match.group("lhs").strip())
+    if not lhs_match:
+        raise ParseError(f"cannot parse left-hand side {match.group('lhs')!r}")
+    lhs_mode = AccessMode.UPDATE if match.group("op") == "+=" else AccessMode.WRITE
+    add_reference(lhs_match.group("tensor"), lhs_match.group("subs"), lhs_mode)
+
+    for ref in _REF_RE.finditer(match.group("rhs")):
+        add_reference(ref.group("tensor"), ref.group("subs"), AccessMode.READ)
+
+    if len(accesses) < 2:
+        raise ParseError("statement must reference at least one input tensor")
+    return TensorOp(name, domain, accesses)

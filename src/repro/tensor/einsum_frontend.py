@@ -1,0 +1,87 @@
+"""An einsum-like statement frontend.
+
+Accepts statements such as ``"Y[i,j] += A[i,k] * B[k,j]"`` together with the
+loop extents, and produces the same :class:`~repro.tensor.operation.TensorOp`
+IR as the kernel factories.  Subscripts may be affine expressions of the
+iterators (``A[i+j]``), so the skewed 1-D convolution of Figure 1 is
+expressible directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.errors import ParseError
+from repro.isl.imap import IntMap
+from repro.isl.iset import IntSet
+from repro.isl.parser import parse_expr
+from repro.isl.space import Space
+from repro.tensor.access import AccessMode, TensorAccess
+from repro.tensor.operation import TensorOp
+
+_STATEMENT_RE = re.compile(
+    r"^(?P<lhs>[A-Za-z_]\w*\s*\[[^\]]*\])\s*(?P<op>\+=|=)\s*(?P<rhs>.+)$"
+)
+
+_REF_RE = re.compile(r"(?P<tensor>[A-Za-z_]\w*)\s*\[(?P<subs>[^\]]*)\]")
+
+
+def parse_einsum(
+    statement: str,
+    sizes: Mapping[str, int],
+    name: str = "einsum",
+) -> TensorOp:
+    """Build a :class:`TensorOp` from an einsum-like statement string.
+
+    Parameters
+    ----------
+    statement:
+        e.g. ``"Y[i,j] += A[i,k] * B[k,j]"``.
+    sizes:
+        Extent of every loop iterator, e.g. ``{"i": 64, "j": 64, "k": 64}``.
+        Iterators are ordered as given by this mapping (outermost first).
+    """
+    text = " ".join(statement.split())
+    match = _STATEMENT_RE.match(text)
+    if not match:
+        raise ParseError(f"cannot parse einsum statement {statement!r}")
+
+    iterators = list(sizes)
+    space = Space("S", iterators)
+    domain = IntSet.box(space, {dim: (0, int(extent)) for dim, extent in sizes.items()})
+
+    accesses: list[TensorAccess] = []
+
+    def add_reference(tensor: str, subscripts: str, mode: AccessMode) -> None:
+        exprs = []
+        for part in subscripts.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            expr = parse_expr(part)
+            unknown = expr.variables() - set(iterators)
+            if unknown:
+                raise ParseError(
+                    f"subscript {part!r} of {tensor} uses iterators {sorted(unknown)} "
+                    f"that have no declared size"
+                )
+            exprs.append(expr)
+        if not exprs:
+            raise ParseError(f"tensor {tensor} has an empty subscript list")
+        relation = IntMap.from_exprs(space, tensor, exprs, domain=domain)
+        accesses.append(TensorAccess(tensor, mode, relation))
+
+    lhs_ref = _REF_RE.match(match.group("lhs").strip())
+    if not lhs_ref:
+        raise ParseError(f"cannot parse output reference {match.group('lhs')!r}")
+    lhs_mode = AccessMode.UPDATE if match.group("op") == "+=" else AccessMode.WRITE
+    add_reference(lhs_ref.group("tensor"), lhs_ref.group("subs"), lhs_mode)
+
+    rhs_refs = list(_REF_RE.finditer(match.group("rhs")))
+    if not rhs_refs:
+        raise ParseError(f"no tensor references found in {match.group('rhs')!r}")
+    for ref in rhs_refs:
+        add_reference(ref.group("tensor"), ref.group("subs"), AccessMode.READ)
+
+    return TensorOp(name, domain, accesses)

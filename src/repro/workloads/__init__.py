@@ -1,0 +1,38 @@
+"""Real-world workloads used in the evaluation (Table IV and Section VI-E).
+
+* AlexNet and VGG16 — layer tables for the Figure 11/12 accuracy studies.
+* GoogLeNet and MobileNet — layer tables for Figures 7 and 12.
+* ALS (MTTKRP) and Transformer (MMc) — the non-DNN applications of Table IV.
+
+Layer configurations use the published network dimensions.  Because this
+reproduction analyses dataflows by exact enumeration, the largest layers are
+scaled down with :mod:`repro.workloads.scaling` before analysis; the scaling
+preserves the dimensions that drive each reuse pattern and every experiment
+records the factor it applied.
+"""
+
+from repro.workloads.dnn import ConvLayer, GemmLayer, MmcLayer, MttkrpLayer, Workload
+from repro.workloads.alexnet import alexnet
+from repro.workloads.vgg16 import vgg16
+from repro.workloads.googlenet import googlenet
+from repro.workloads.mobilenet import mobilenet
+from repro.workloads.als import als
+from repro.workloads.transformer import transformer
+from repro.workloads.scaling import scale_layer, scale_sizes, scaled_op
+
+__all__ = [
+    "ConvLayer",
+    "GemmLayer",
+    "MttkrpLayer",
+    "MmcLayer",
+    "Workload",
+    "alexnet",
+    "vgg16",
+    "googlenet",
+    "mobilenet",
+    "als",
+    "transformer",
+    "scale_layer",
+    "scale_sizes",
+    "scaled_op",
+]

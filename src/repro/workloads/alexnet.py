@@ -1,0 +1,25 @@
+"""AlexNet convolutional layers (used by the Eyeriss accuracy study, Fig. 11/12)."""
+
+from __future__ import annotations
+
+from repro.workloads.dnn import ConvLayer, Workload
+
+
+def alexnet() -> Workload:
+    """The five convolutional layers of AlexNet (grouped convolutions use the per-group C)."""
+    return Workload(
+        name="AlexNet",
+        domain="Deep learning",
+        layers=[
+            ConvLayer("CONV1", out_channels=96, in_channels=3, out_x=55, out_y=55,
+                      filter_x=11, filter_y=11, stride=4),
+            ConvLayer("CONV2", out_channels=256, in_channels=48, out_x=27, out_y=27,
+                      filter_x=5, filter_y=5),
+            ConvLayer("CONV3", out_channels=384, in_channels=256, out_x=13, out_y=13,
+                      filter_x=3, filter_y=3),
+            ConvLayer("CONV4", out_channels=384, in_channels=192, out_x=13, out_y=13,
+                      filter_x=3, filter_y=3),
+            ConvLayer("CONV5", out_channels=256, in_channels=192, out_x=13, out_y=13,
+                      filter_x=3, filter_y=3),
+        ],
+    )

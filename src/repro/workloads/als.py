@@ -1,0 +1,28 @@
+"""Alternating least squares (ALS) workload: MTTKRP on the Netflix-scale tensor.
+
+Table IV lists a 480K x 18K x 2K rating tensor; its MTTKRP against rank-32
+factor matrices is the bottleneck operation.  The full operation is far beyond
+exact enumeration, so experiments analyse a scaled slice (the paper normalises
+its results to the ideal latency, which the scaling preserves).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.dnn import MttkrpLayer, Workload
+
+#: Factorisation rank used by the evaluation (the ``j`` dimension).
+ALS_RANK = 32
+
+
+def als(full_scale: bool = False) -> Workload:
+    """The ALS workload; ``full_scale=True`` returns the 480K x 18K x 2K sizes."""
+    if full_scale:
+        layers = [
+            MttkrpLayer("MTTKRP-full", size_i=480_000, size_j=ALS_RANK,
+                        size_k=18_000, size_l=2_000),
+        ]
+    else:
+        layers = [
+            MttkrpLayer("MTTKRP-slice", size_i=480, size_j=ALS_RANK, size_k=180, size_l=20),
+        ]
+    return Workload(name="ALS", domain="Matrix factorisation", layers=layers)

@@ -1,0 +1,171 @@
+"""Layer and workload descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.tensor.kernels import conv2d, depthwise_conv2d, gemm, mmc, mttkrp
+from repro.tensor.operation import TensorOp
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One convolutional layer (standard, depthwise or pointwise)."""
+
+    name: str
+    out_channels: int
+    in_channels: int
+    out_x: int
+    out_y: int
+    filter_x: int
+    filter_y: int
+    stride: int = 1
+    depthwise: bool = False
+
+    @property
+    def macs(self) -> int:
+        channels = self.in_channels if self.depthwise else self.out_channels * self.in_channels
+        return channels * self.out_x * self.out_y * self.filter_x * self.filter_y
+
+    @property
+    def is_pointwise(self) -> bool:
+        return self.filter_x == 1 and self.filter_y == 1
+
+    def sizes(self) -> dict[str, int]:
+        if self.depthwise:
+            return {
+                "c": self.in_channels,
+                "ox": self.out_x,
+                "oy": self.out_y,
+                "rx": self.filter_x,
+                "ry": self.filter_y,
+            }
+        return {
+            "k": self.out_channels,
+            "c": self.in_channels,
+            "ox": self.out_x,
+            "oy": self.out_y,
+            "rx": self.filter_x,
+            "ry": self.filter_y,
+        }
+
+    def to_op(self) -> TensorOp:
+        if self.depthwise:
+            return depthwise_conv2d(
+                self.in_channels, self.out_x, self.out_y, self.filter_x, self.filter_y,
+                stride=self.stride, name=self.name,
+            )
+        return conv2d(
+            self.out_channels, self.in_channels, self.out_x, self.out_y,
+            self.filter_x, self.filter_y, stride=self.stride, name=self.name,
+        )
+
+    def scaled(self, **overrides: int) -> "ConvLayer":
+        """Copy with some dimensions overridden (used by the scaling helpers)."""
+        values = {
+            "name": self.name,
+            "out_channels": self.out_channels,
+            "in_channels": self.in_channels,
+            "out_x": self.out_x,
+            "out_y": self.out_y,
+            "filter_x": self.filter_x,
+            "filter_y": self.filter_y,
+            "stride": self.stride,
+            "depthwise": self.depthwise,
+        }
+        values.update(overrides)
+        return ConvLayer(**values)
+
+
+@dataclass(frozen=True)
+class GemmLayer:
+    """A matrix multiplication layer (fully connected / attention projection)."""
+
+    name: str
+    rows: int
+    cols: int
+    inner: int
+
+    @property
+    def macs(self) -> int:
+        return self.rows * self.cols * self.inner
+
+    def sizes(self) -> dict[str, int]:
+        return {"i": self.rows, "j": self.cols, "k": self.inner}
+
+    def to_op(self) -> TensorOp:
+        return gemm(self.rows, self.cols, self.inner, name=self.name)
+
+
+@dataclass(frozen=True)
+class MttkrpLayer:
+    """An MTTKRP operation (tensor factorisation workhorse)."""
+
+    name: str
+    size_i: int
+    size_j: int
+    size_k: int
+    size_l: int
+
+    @property
+    def macs(self) -> int:
+        return self.size_i * self.size_j * self.size_k * self.size_l
+
+    def sizes(self) -> dict[str, int]:
+        return {"i": self.size_i, "j": self.size_j, "k": self.size_k, "l": self.size_l}
+
+    def to_op(self) -> TensorOp:
+        return mttkrp(self.size_i, self.size_j, self.size_k, self.size_l, name=self.name)
+
+
+@dataclass(frozen=True)
+class MmcLayer:
+    """A matrix-multiplication chain (Transformer attention block)."""
+
+    name: str
+    size_i: int
+    size_j: int
+    size_k: int
+    size_l: int
+
+    @property
+    def macs(self) -> int:
+        return self.size_i * self.size_j * self.size_k * self.size_l
+
+    def sizes(self) -> dict[str, int]:
+        return {"i": self.size_i, "j": self.size_j, "k": self.size_k, "l": self.size_l}
+
+    def to_op(self) -> TensorOp:
+        return mmc(self.size_i, self.size_j, self.size_k, self.size_l, name=self.name)
+
+
+Layer = ConvLayer | GemmLayer | MttkrpLayer | MmcLayer
+
+
+@dataclass
+class Workload:
+    """A named application: an ordered list of layers (Table IV rows)."""
+
+    name: str
+    domain: str
+    layers: list[Layer] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def layer(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"workload {self.name!r} has no layer named {name!r}")
+
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

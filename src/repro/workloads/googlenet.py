@@ -1,0 +1,29 @@
+"""GoogLeNet representative layers (Table IV: 6.7M parameters, 3 layer types)."""
+
+from __future__ import annotations
+
+from repro.workloads.dnn import ConvLayer, Workload
+
+
+def googlenet() -> Workload:
+    """The stem convolutions plus the 3x3 branch of the inception blocks of Figure 12."""
+    return Workload(
+        name="GoogLeNet",
+        domain="Deep learning",
+        layers=[
+            ConvLayer("conv1-7x7", out_channels=64, in_channels=3, out_x=112, out_y=112,
+                      filter_x=7, filter_y=7, stride=2),
+            ConvLayer("conv2-3x3", out_channels=192, in_channels=64, out_x=56, out_y=56,
+                      filter_x=3, filter_y=3),
+            ConvLayer("incpt-3a", out_channels=128, in_channels=96, out_x=28, out_y=28,
+                      filter_x=3, filter_y=3),
+            ConvLayer("incpt-3b", out_channels=192, in_channels=128, out_x=28, out_y=28,
+                      filter_x=3, filter_y=3),
+            ConvLayer("incpt-4a", out_channels=208, in_channels=96, out_x=14, out_y=14,
+                      filter_x=3, filter_y=3),
+            ConvLayer("incpt-4b", out_channels=224, in_channels=112, out_x=14, out_y=14,
+                      filter_x=3, filter_y=3),
+            ConvLayer("incpt-4c", out_channels=256, in_channels=128, out_x=14, out_y=14,
+                      filter_x=3, filter_y=3),
+        ],
+    )

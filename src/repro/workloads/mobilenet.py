@@ -1,0 +1,30 @@
+"""MobileNet representative layers (Table IV: 4.2M parameters, 4 layer types).
+
+The Figure 12 discussion highlights the depthwise (dw-CONV) and pointwise
+(pw-CONV) layers: depthwise convolutions accumulate nothing across channels,
+so the input reuse is low, and pointwise convolutions use 1x1 filters, so the
+input halo reuse disappears entirely.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.dnn import ConvLayer, Workload
+
+
+def mobilenet() -> Workload:
+    return Workload(
+        name="MobileNet",
+        domain="Deep learning",
+        layers=[
+            ConvLayer("CONV1", out_channels=32, in_channels=3, out_x=112, out_y=112,
+                      filter_x=3, filter_y=3, stride=2),
+            ConvLayer("dw-CONV2", out_channels=32, in_channels=32, out_x=112, out_y=112,
+                      filter_x=3, filter_y=3, depthwise=True),
+            ConvLayer("pw-CONV3", out_channels=64, in_channels=32, out_x=112, out_y=112,
+                      filter_x=1, filter_y=1),
+            ConvLayer("dw-CONV4", out_channels=64, in_channels=64, out_x=56, out_y=56,
+                      filter_x=3, filter_y=3, depthwise=True),
+            ConvLayer("pw-CONV5", out_channels=128, in_channels=64, out_x=56, out_y=56,
+                      filter_x=1, filter_y=1),
+        ],
+    )

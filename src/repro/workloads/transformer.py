@@ -1,0 +1,34 @@
+"""Transformer workload: the matrix-multiplication chain of self-attention.
+
+Table IV lists model dimensions 512 / 768 / 1024.  The attention block
+computes ``softmax(Q K^T) V``; ignoring the softmax (element-wise), the core
+tensor operation is the chain ``Y = (Q K^T) V``, i.e. an MMc with the sequence
+length on the outer dimensions and the head dimension inside.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.dnn import MmcLayer, Workload
+
+#: Sequence length used by the evaluation.
+SEQUENCE_LENGTH = 512
+
+#: Attention head dimension.
+HEAD_DIM = 64
+
+
+def transformer(full_scale: bool = False) -> Workload:
+    """The attention MMc at the three Table IV model sizes (scaled by default)."""
+    if full_scale:
+        layers = [
+            MmcLayer("attention-512", SEQUENCE_LENGTH, HEAD_DIM, HEAD_DIM, SEQUENCE_LENGTH),
+            MmcLayer("attention-768", SEQUENCE_LENGTH, 96, 96, SEQUENCE_LENGTH),
+            MmcLayer("attention-1024", SEQUENCE_LENGTH, 128, 128, SEQUENCE_LENGTH),
+        ]
+    else:
+        layers = [
+            MmcLayer("attention-512", 128, 32, 32, 128),
+            MmcLayer("attention-768", 128, 48, 48, 128),
+            MmcLayer("attention-1024", 128, 64, 64, 128),
+        ]
+    return Workload(name="Transformer", domain="NLP", layers=layers)

@@ -1,0 +1,25 @@
+"""VGG16 representative layers (used by the MAERI accuracy study, Fig. 11/12)."""
+
+from __future__ import annotations
+
+from repro.workloads.dnn import ConvLayer, Workload
+
+
+def vgg16() -> Workload:
+    """The first convolution of each VGG16 stage (CONV1-1 ... CONV5-1)."""
+    return Workload(
+        name="VGG16",
+        domain="Deep learning",
+        layers=[
+            ConvLayer("CONV1-1", out_channels=64, in_channels=3, out_x=224, out_y=224,
+                      filter_x=3, filter_y=3),
+            ConvLayer("CONV2-1", out_channels=128, in_channels=64, out_x=112, out_y=112,
+                      filter_x=3, filter_y=3),
+            ConvLayer("CONV3-1", out_channels=256, in_channels=128, out_x=56, out_y=56,
+                      filter_x=3, filter_y=3),
+            ConvLayer("CONV4-1", out_channels=512, in_channels=256, out_x=28, out_y=28,
+                      filter_x=3, filter_y=3),
+            ConvLayer("CONV5-1", out_channels=512, in_channels=512, out_x=14, out_y=14,
+                      filter_x=3, filter_y=3),
+        ],
+    )

@@ -1,0 +1,106 @@
+"""Tests for the design-space size computation, pruning and explorer."""
+
+import pytest
+
+from repro.dse import (
+    DesignSpaceExplorer,
+    data_centric_space_size,
+    enumerate_binary_dataflows,
+    paper_pruned_count,
+    pruned_candidates,
+    relation_centric_space_size,
+)
+from repro.errors import ExplorationError
+from repro.experiments.common import make_arch
+from repro.tensor import conv2d, gemm
+
+
+class TestSpaceSizes:
+    def test_gemm_sizes_match_paper(self):
+        assert relation_centric_space_size(3) == 512
+        assert data_centric_space_size(3) == 18
+        assert relation_centric_space_size(3) // data_centric_space_size(3) == 28
+
+    def test_conv_space_is_astronomically_larger(self):
+        assert relation_centric_space_size(6) == 2 ** 36
+        assert relation_centric_space_size(6) > data_centric_space_size(6)
+
+    def test_enumeration_count_matches_formula(self):
+        count = sum(1 for _ in enumerate_binary_dataflows(
+            ["a", "b"], pe_rank=1, require_nonzero_rows=False))
+        assert count == relation_centric_space_size(2)
+
+    def test_enumeration_limit(self):
+        dataflows = list(enumerate_binary_dataflows(["a", "b", "c"], limit=10))
+        assert len(dataflows) == 10
+
+    def test_enumerated_dataflows_are_well_formed(self):
+        dataflow = next(enumerate_binary_dataflows(["i", "j", "k"]))
+        assert dataflow.pe_rank == 2
+        assert dataflow.time_rank == 1
+
+
+class TestPruning:
+    def test_paper_count(self):
+        assert paper_pruned_count() == 25920
+
+    def test_candidates_are_distinct_and_bounded(self):
+        op = conv2d(8, 8, 5, 5, 3, 3)
+        candidates = list(pruned_candidates(op, max_candidates=20))
+        assert len(candidates) == 20
+        assert len({c.name for c in candidates}) > 1
+
+    def test_candidates_cover_skewed_and_plain(self):
+        op = gemm(16, 16, 16)
+        names = [c.name for c in pruned_candidates(op, max_candidates=30)]
+        assert any("+skew" in name for name in names)
+        assert any("+skew" not in name for name in names)
+
+
+class TestExplorer:
+    def test_explore_ranks_by_latency(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8), interconnect="2d-systolic")
+        explorer = DesignSpaceExplorer(op, arch, objective="latency")
+        result = explorer.explore(pruned_candidates(op, max_candidates=8))
+        assert result.evaluated
+        latencies = [report.latency_cycles for report in result.evaluated]
+        assert latencies == sorted(latencies)
+        assert result.best.latency_cycles == latencies[0]
+
+    def test_invalid_candidates_are_recorded_not_fatal(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        from repro.core import Dataflow
+
+        bad = Dataflow.from_exprs("bad", op, ["i", "j"], ["k"])  # i, j exceed a 4x4 array
+        good = Dataflow.from_exprs("good", op, ["i mod 4", "j mod 4"],
+                                   ["fl(i/4)", "fl(j/4)", "k"])
+        result = DesignSpaceExplorer(op, arch).explore([bad, good])
+        assert len(result.failures) == 1
+        assert len(result.evaluated) == 1
+
+    def test_unknown_objective_rejected(self):
+        op = gemm(8, 8, 8)
+        with pytest.raises(ExplorationError):
+            DesignSpaceExplorer(op, make_arch(), objective="beauty")
+
+    def test_custom_objective(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8))
+        explorer = DesignSpaceExplorer(op, arch, objective=lambda r: r.energy.total_pj)
+        result = explorer.explore(pruned_candidates(op, max_candidates=4))
+        energies = [report.energy.total_pj for report in result.evaluated]
+        assert energies == sorted(energies)
+
+    def test_empty_exploration_raises_on_best(self):
+        op = gemm(8, 8, 8)
+        result = DesignSpaceExplorer(op, make_arch()).explore([])
+        with pytest.raises(ExplorationError):
+            _ = result.best
+
+    def test_summary_text(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8))
+        result = DesignSpaceExplorer(op, arch).explore(pruned_candidates(op, max_candidates=3))
+        assert "objective = latency" in result.summary()

@@ -1,0 +1,109 @@
+"""Integration tests: the experiment drivers reproduce the paper's qualitative claims.
+
+Heavy experiments are run with reduced sizes here; the full-size runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    design_space_size,
+    dse_experiment,
+    fig1_reuse_example,
+    fig6_latency_bandwidth,
+    fig8_runtime,
+    fig11_accuracy,
+    fig12_reuse,
+    table1_features,
+    table3_notations,
+)
+from repro.experiments.common import ExperimentResult, average, make_arch, percent_reduction
+
+
+class TestCommonHelpers:
+    def test_experiment_result_table_and_filter(self):
+        result = ExperimentResult("demo", "demo rows")
+        result.add_row(a=1, b="x")
+        result.add_row(a=2, b="y")
+        assert result.column("a") == [1, 2]
+        assert result.filter_rows(b="y")[0]["a"] == 2
+        assert "demo" in result.table()
+
+    def test_percent_reduction(self):
+        assert percent_reduction(100, 60) == pytest.approx(40.0)
+        assert percent_reduction(0, 10) == 0.0
+
+    def test_average(self):
+        assert average([1, 2, 3]) == 2.0
+        assert average([]) == 0.0
+
+    def test_make_arch(self):
+        arch = make_arch(pe_dims=(4, 4), interconnect="mesh", bandwidth_bits=64)
+        assert arch.num_pes == 16
+        assert arch.interconnect.name == "mesh"
+        assert arch.scratchpad_bandwidth_bits == 64
+
+
+class TestFastExperiments:
+    def test_fig1_reproduces_six_vs_eight(self):
+        result = fig1_reuse_example.run()
+        assert result.headline["tenet_reuse_of_A"] == 6
+        assert result.headline["data_centric_reuse_of_A"] == pytest.approx(8)
+
+    def test_design_space_sizes(self):
+        result = design_space_size.run(max_loops=4)
+        gemm_row = result.filter_rows(loops=3)[0]
+        assert gemm_row["relation_centric"] == 512
+        assert gemm_row["data_centric"] == 18
+        assert gemm_row["enumerated"] == 512
+
+    def test_table1_matrix(self):
+        result = table1_features.run()
+        assert len(result.rows) == 10
+        assert all("repro." in row["relation_centric"] or "stamp" in row["relation_centric"]
+                   for row in result.rows)
+
+    def test_table3_lists_every_catalog_entry(self):
+        from repro.dataflows import all_entries
+
+        result = table3_notations.run()
+        assert len(result.rows) == len(all_entries())
+        assert result.headline["tenet_only_dataflows"] >= 10
+
+
+class TestScaledDownHeavyExperiments:
+    def test_fig6_tenet_dataflows_win_at_low_bandwidth(self):
+        result = fig6_latency_bandwidth.run(
+            bandwidths=(64.0, 128.0), gemm_size=16, conv_sizes=(8, 8, 7, 7, 3, 3),
+        )
+        assert result.headline["gemm_avg_latency_reduction_pct"] >= 0
+        assert result.headline["conv_avg_latency_reduction_pct"] >= 0
+        # at every bandwidth the best latency overall belongs to a relation-only dataflow
+        rows_64 = [row for row in result.rows
+                   if row["bandwidth_bits"] == 64.0 and row["kernel"] == "2D-CONV"]
+        best = min(rows_64, key=lambda row: row["latency_cycles"])
+        assert best["notation"] == "relation-only"
+
+    def test_fig8_polynomial_model_is_faster(self):
+        result = fig8_runtime.run(gemm_size=8, conv_sizes=(4, 4, 5, 5, 3, 3))
+        assert result.headline["slowdown_factor"] > 1
+
+    def test_fig11_tenet_tracks_simulator_better(self):
+        result = fig11_accuracy.run(max_instances=30_000)
+        assert (result.headline["tenet_latency_accuracy_pct"]
+                > result.headline["baseline_latency_accuracy_pct"])
+        assert (result.headline["tenet_util_error_pct"]
+                <= result.headline["baseline_util_error_pct"])
+
+    def test_fig12_output_reuse_only_in_tenet(self):
+        result = fig12_reuse.run(max_instances=40_000, layers_per_network=1)
+        outputs = [row for row in result.rows if row["role"] == "output"]
+        assert outputs
+        assert all(row["maestro_reuse_factor"] == pytest.approx(1.0) for row in outputs
+                   if row["maestro_reuse_factor"] is not None)
+        assert any(row["tenet_reuse_factor"] > 1.0 for row in outputs)
+
+    def test_dse_finds_candidates(self):
+        result = dse_experiment.run(conv_sizes=(4, 4, 5, 5, 3, 3), max_candidates=6)
+        assert result.headline["paper_pruned_space"] == 25920
+        assert result.rows

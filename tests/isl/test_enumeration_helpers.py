@@ -1,0 +1,88 @@
+"""Unit tests for the enumeration helpers used by the counting backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnboundedSetError
+from repro.isl.enumeration import (
+    array_to_chunk,
+    box_size,
+    chunk_length,
+    chunk_to_array,
+    concat_chunks,
+    encode_rows,
+    filter_chunk,
+    iter_box_chunks,
+    sorted_unique,
+)
+from repro.isl.constraint import Constraint
+from repro.isl.expr import var
+
+
+class TestBoxChunks:
+    def test_chunks_cover_box_exactly_once(self):
+        bounds = {"i": (0, 5), "j": (-2, 3)}
+        seen = []
+        for chunk in iter_box_chunks(bounds, ["i", "j"], chunk_size=7):
+            seen.extend(zip(chunk["i"].tolist(), chunk["j"].tolist()))
+        assert len(seen) == 25
+        assert len(set(seen)) == 25
+        assert min(j for _, j in seen) == -2
+
+    def test_lexicographic_order(self):
+        chunks = list(iter_box_chunks({"i": (0, 2), "j": (0, 2)}, ["i", "j"]))
+        array = chunk_to_array(chunks[0], ["i", "j"])
+        assert array.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_empty_dimension_yields_nothing(self):
+        assert list(iter_box_chunks({"i": (3, 3)}, ["i"])) == []
+
+    def test_box_size(self):
+        assert box_size({"i": (0, 4), "j": (1, 3)}, ["i", "j"]) == 8
+
+    def test_cap_on_candidate_points(self):
+        with pytest.raises(UnboundedSetError):
+            list(iter_box_chunks({"i": (0, 1 << 40)}, ["i"]))
+
+
+class TestChunkUtilities:
+    def test_filter_chunk(self):
+        chunk = {"i": np.arange(10)}
+        filtered = filter_chunk(chunk, [Constraint.ge(var("i"), 6)])
+        assert filtered["i"].tolist() == [6, 7, 8, 9]
+
+    def test_chunk_array_roundtrip(self):
+        chunk = {"i": np.array([1, 2]), "j": np.array([3, 4])}
+        array = chunk_to_array(chunk, ["i", "j"])
+        back = array_to_chunk(array, ["i", "j"])
+        assert back["j"].tolist() == [3, 4]
+
+    def test_chunk_length_and_concat(self):
+        first = {"i": np.array([1])}
+        second = {"i": np.array([2, 3])}
+        merged = concat_chunks([first, second], ["i"])
+        assert chunk_length(merged) == 3
+        assert chunk_length({}) == 0
+
+
+class TestKeyHelpers:
+    def test_sorted_unique_matches_numpy(self):
+        values = np.array([5, 1, 5, 3, 1, 1, 9], dtype=np.int64)
+        unique, counts = sorted_unique(values, return_counts=True)
+        np_unique, np_counts = np.unique(values, return_counts=True)
+        assert unique.tolist() == np_unique.tolist()
+        assert counts.tolist() == np_counts.tolist()
+
+    def test_sorted_unique_empty(self):
+        empty = np.array([], dtype=np.int64)
+        assert sorted_unique(empty).size == 0
+
+    def test_encode_rows_mixed_radix_is_injective(self):
+        rows = np.array([[0, 0], [1, 0], [0, 1], [3, 2]], dtype=np.int64)
+        keys = encode_rows(rows, [(0, 4), (0, 3)])
+        assert len(set(keys.tolist())) == 4
+
+    def test_encode_rows_overflow_guard(self):
+        rows = np.array([[0, 0]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            encode_rows(rows, [(0, 1 << 40), (0, 1 << 40)])

@@ -1,0 +1,110 @@
+"""Unit tests for the ISL-like relation parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.isl import UnionMap, UnionSet, parse_expr, parse_map, parse_set
+
+
+class TestExpressions:
+    def test_linear(self):
+        expr = parse_expr("2*i + j - 3")
+        assert expr.evaluate({"i": 2, "j": 1}) == 2
+
+    def test_mod_keyword_and_percent(self):
+        assert parse_expr("i mod 8").evaluate({"i": 10}) == 2
+        assert parse_expr("i % 8").evaluate({"i": 10}) == 2
+
+    def test_floor_and_fl(self):
+        assert parse_expr("floor(i/8)").evaluate({"i": 17}) == 2
+        assert parse_expr("fl(i/8)").evaluate({"i": 17}) == 2
+
+    def test_nested_affine_inside_mod(self):
+        expr = parse_expr("(i + j) mod 4")
+        assert expr.evaluate({"i": 3, "j": 2}) == 1
+
+    def test_abs(self):
+        assert parse_expr("abs(i - j)").evaluate({"i": 1, "j": 4}) == 3
+
+    def test_unary_minus(self):
+        assert parse_expr("-i + 3").evaluate({"i": 1}) == 2
+
+    def test_reject_product_of_variables(self):
+        with pytest.raises(ParseError):
+            parse_expr("i * j")
+
+    def test_reject_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expr("i + ]")
+
+
+class TestSets:
+    def test_simple_box(self):
+        s = parse_set("{ PE[i, j] : 0 <= i < 8 and 0 <= j < 8 }")
+        assert s.count() == 64
+
+    def test_comma_bound_groups(self):
+        s = parse_set("{ S[i, j] : 0 <= i,j < 4 }")
+        assert s.count() == 16
+
+    def test_unnamed_tuple(self):
+        s = parse_set("{ [i] : 0 <= i < 5 }")
+        assert s.count() == 5
+
+    def test_disjunction_builds_union(self):
+        s = parse_set("{ S[i] : (0 <= i < 3) or (10 <= i < 12) }")
+        assert isinstance(s, UnionSet)
+        assert s.count() == 5
+
+    def test_set_with_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_set("{ S[i] -> PE[i] }")
+
+    def test_expression_entries_rejected_for_sets(self):
+        with pytest.raises(ParseError):
+            parse_set("{ S[i + 1] : 0 <= i < 4 }")
+
+
+class TestMaps:
+    def test_functional_map_paper_example(self):
+        m = parse_map("{ S[i, j, k] -> PE[i, j] : 0 <= i, j < 2 and 0 <= k < 4 }")
+        assert m.is_functional
+        assert m.apply_point((1, 0, 3)).coords == (1, 0)
+        assert m.domain.count() == 16
+
+    def test_quasi_affine_output(self):
+        m = parse_map("{ S[i, j, k] -> T[fl(i/8), fl(j/8), i mod 8 + j mod 8 + k] }")
+        assert m.apply_point((9, 17, 2)).coords == (1, 2, 1 + 1 + 2)
+
+    def test_relation_output_with_fresh_names(self):
+        m = parse_map("{ PE[i, j] -> PE[a, b] : a = i + 1 and b = j }")
+        assert not m.is_functional
+        assert m.contains((0, 0), (1, 0))
+
+    def test_disjunctive_relation_is_union(self):
+        m = parse_map(
+            "{ PE[i, j] -> PE[a, b] : (a = i and b = j + 1) or (a = i + 1 and b = j) }"
+        )
+        assert isinstance(m, UnionMap)
+        assert len(m) == 2
+
+    def test_output_reusing_input_dim_is_functional(self):
+        m = parse_map("{ S[i, j, k] -> Y[i, j] }")
+        assert m.is_functional
+        assert m.apply_point((1, 2, 3)).coords == (1, 2)
+
+    def test_map_without_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_map("{ S[i] : 0 <= i < 4 }")
+
+    def test_unknown_names_in_functional_condition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_map("{ S[i] -> PE[i mod 4] : 0 <= z < 4 }")
+
+    def test_parenthesised_condition(self):
+        m = parse_map("{ S[i] -> PE[i] : (0 <= i and i < 7) }")
+        assert m.domain.count() == 7
+
+    def test_tokenizer_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_map("{ S[i] -> PE[i] : i ~ 3 }")

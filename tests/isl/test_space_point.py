@@ -1,0 +1,88 @@
+"""Unit tests for spaces and points."""
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.isl.point import Point, env_from
+from repro.isl.space import Space, ensure_disjoint, flatten_dims
+
+
+class TestSpace:
+    def test_basic_properties(self):
+        space = Space("S", ["i", "j", "k"])
+        assert space.rank == 3
+        assert len(space) == 3
+        assert space.index("j") == 1
+        assert space.has_dim("k")
+        assert not space.has_dim("x")
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(SpaceError):
+            Space("S", ["i", "i"])
+
+    def test_index_of_missing_dim(self):
+        with pytest.raises(SpaceError):
+            Space("S", ["i"]).index("q")
+
+    def test_renamed(self):
+        space = Space("PE", ["i", "j"]).renamed(["p", "q"])
+        assert space.dims == ("p", "q")
+        assert space.name == "PE"
+
+    def test_renamed_wrong_arity(self):
+        with pytest.raises(SpaceError):
+            Space("PE", ["i", "j"]).renamed(["p"])
+
+    def test_primed(self):
+        assert Space("PE", ["i", "j"]).primed().dims == ("i'", "j'")
+
+    def test_str(self):
+        assert str(Space("S", ["i", "j"])) == "S[i, j]"
+
+    def test_disjoint_from(self):
+        a = Space("S", ["i", "j"])
+        assert a.disjoint_from(Space("PE", ["p", "q"]))
+        assert not a.disjoint_from(Space("PE", ["i", "q"]))
+
+
+class TestEnsureDisjoint:
+    def test_no_collision_keeps_names(self):
+        out = ensure_disjoint(Space("S", ["i", "j"]), Space("PE", ["p", "q"]))
+        assert out.dims == ("p", "q")
+
+    def test_collision_primes_names(self):
+        out = ensure_disjoint(Space("PE", ["i", "j"]), Space("PE", ["i", "j"]))
+        assert out.dims == ("i'", "j'")
+
+    def test_double_collision_stacks_primes(self):
+        out = ensure_disjoint(Space("PE", ["i", "i'"]), Space("PE", ["i", "x"]))
+        assert out.dims == ("i''", "x")
+
+
+class TestFlattenDims:
+    def test_flatten(self):
+        dims = flatten_dims([Space("S", ["i"]), Space("PE", ["p"])])
+        assert dims == ("i", "p")
+
+    def test_flatten_collision(self):
+        with pytest.raises(SpaceError):
+            flatten_dims([Space("S", ["i"]), Space("PE", ["i"])])
+
+
+class TestPoint:
+    def test_env_and_access(self):
+        point = Point(Space("S", ["i", "j"]), (3, 4))
+        assert point.env() == {"i": 3, "j": 4}
+        assert point[0] == 3
+        assert point.value("j") == 4
+        assert list(point) == [3, 4]
+        assert str(point) == "S[3, 4]"
+
+    def test_wrong_rank(self):
+        with pytest.raises(SpaceError):
+            Point(Space("S", ["i", "j"]), (1,))
+
+    def test_env_from(self):
+        assert env_from(Space("S", ["i"]), [7]) == {"i": 7}
+        with pytest.raises(SpaceError):
+            env_from(Space("S", ["i"]), [7, 8])

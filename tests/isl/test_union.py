@@ -1,0 +1,65 @@
+"""Unit tests for unions of sets and maps."""
+
+import pytest
+
+from repro.errors import SpaceError
+from repro.isl import UnionMap, UnionSet, parse_map, parse_set
+from repro.isl.union import as_union_map, as_union_set
+
+
+class TestUnionSet:
+    def test_count_removes_duplicates(self):
+        a = parse_set("{ S[i] : 0 <= i < 5 }")
+        b = parse_set("{ S[i] : 3 <= i < 8 }")
+        union = UnionSet([a, b])
+        assert union.count() == 8
+
+    def test_contains(self):
+        union = parse_set("{ S[i] : (0 <= i < 2) or (5 <= i < 6) }")
+        assert union.contains((5,))
+        assert not union.contains((3,))
+
+    def test_mixed_spaces_rejected(self):
+        with pytest.raises(SpaceError):
+            UnionSet([parse_set("{ S[i] : 0 <= i < 2 }"), parse_set("{ T[t] : 0 <= t < 2 }")])
+
+    def test_as_union_set_wraps(self):
+        s = parse_set("{ S[i] : 0 <= i < 2 }")
+        assert len(as_union_set(s)) == 1
+        assert len(as_union_set(UnionSet([s, s]))) == 2
+
+
+class TestUnionMap:
+    def test_contains_any_piece(self):
+        union = parse_map(
+            "{ PE[i, j] -> PE[a, b] : (a = i and b = j + 1) or (a = i + 1 and b = j) }"
+        )
+        assert union.contains((0, 0), (0, 1))
+        assert union.contains((0, 0), (1, 0))
+        assert not union.contains((0, 0), (1, 1))
+
+    def test_count_pairs_removes_duplicates(self):
+        a = parse_map("{ S[i] -> PE[i] : 0 <= i < 4 }")
+        b = parse_map("{ S[i] -> PE[i] : 2 <= i < 6 }")
+        assert UnionMap([a, b]).count_pairs() == 6
+
+    def test_compose_distributes_over_pieces(self):
+        access = UnionMap([
+            parse_map("{ S[i] -> A[i] }"),
+            parse_map("{ S[i] -> A[i + 1] }"),
+        ])
+        shift = parse_map("{ A[a] -> B[2*a] }")
+        composed = access.compose(shift)
+        assert len(composed) == 2
+        assert composed.pieces[1].apply_point((3,)).coords == (8,)
+
+    def test_reverse(self):
+        union = as_union_map(parse_map("{ S[i] -> PE[i mod 2] : 0 <= i < 4 }"))
+        reversed_union = union.reverse()
+        assert reversed_union.pieces[0].contains((1,), (3,))
+
+    def test_functional_union_flag(self):
+        functional = as_union_map(parse_map("{ S[i] -> A[i] }"))
+        relation = as_union_map(parse_map("{ PE[i] -> PE[a] : a = i + 1 }"))
+        assert functional.is_functional_union
+        assert not relation.is_functional_union

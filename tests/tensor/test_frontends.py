@@ -1,0 +1,92 @@
+"""Unit tests for the C-like and einsum frontends."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.tensor import parse_c_loop_nest, parse_einsum
+from repro.tensor.access import AccessMode
+
+GEMM_C = """
+for (i = 0; i < 4; i++)
+  for (j = 0; j < 5; j++)
+    for (k = 0; k < 6; k++)
+      Y[i][j] += A[i][k] * B[k][j];
+"""
+
+
+class TestCFrontend:
+    def test_gemm_loop_nest(self):
+        op = parse_c_loop_nest(GEMM_C, name="gemm")
+        assert op.loop_dims == ("i", "j", "k")
+        assert op.num_instances() == 120
+        assert set(op.input_tensors) == {"A", "B"}
+        assert op.output_tensors == ("Y",)
+
+    def test_update_vs_assign(self):
+        update = parse_c_loop_nest("for (i = 0; i < 3; i++) Y[i] += A[i];")
+        assign = parse_c_loop_nest("for (i = 0; i < 3; i++) Y[i] = A[i];")
+        assert update.accesses_to("Y")[0].mode is AccessMode.UPDATE
+        assert assign.accesses_to("Y")[0].mode is AccessMode.WRITE
+
+    def test_statement_label_and_braces(self):
+        source = """
+        for (i = 0; i < 4; i++) {
+          for (j = 0; j < 3; j++) {
+            S: Y[i] += A[i + j] * B[j];
+          }
+        }
+        """
+        op = parse_c_loop_nest(source)
+        a = op.access_maps("A")[0]
+        assert a.apply_point((2, 1)).coords == (3,)
+
+    def test_inclusive_bound(self):
+        op = parse_c_loop_nest("for (i = 0; i <= 3; i++) Y[i] += A[i];")
+        assert op.num_instances() == 4
+
+    def test_comma_subscripts(self):
+        op = parse_c_loop_nest(
+            "for (i = 0; i < 2; i++) for (j = 0; j < 2; j++) Y[i, j] += A[i, j];"
+        )
+        assert op.tensor_footprint("Y") == 4
+
+    def test_missing_loops_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c_loop_nest("Y[i] += A[i];")
+
+    def test_bad_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c_loop_nest("for (i = 0; i < 3; i++) do_something();")
+
+    def test_unknown_iterator_in_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c_loop_nest("for (i = 0; i < 3; i++) Y[z] += A[i];")
+
+    def test_duplicate_iterators_rejected(self):
+        with pytest.raises(ParseError):
+            parse_c_loop_nest(
+                "for (i = 0; i < 3; i++) for (i = 0; i < 3; i++) Y[i] += A[i];"
+            )
+
+
+class TestEinsumFrontend:
+    def test_gemm(self):
+        op = parse_einsum("Y[i,j] += A[i,k] * B[k,j]", {"i": 4, "j": 5, "k": 6})
+        assert op.num_instances() == 120
+        assert op.tensor_footprint("Y") == 20
+
+    def test_skewed_subscript(self):
+        op = parse_einsum("Y[i] += A[i + j] * B[j]", {"i": 4, "j": 3})
+        assert op.tensor_footprint("A") == 6
+
+    def test_loop_order_follows_sizes_mapping(self):
+        op = parse_einsum("Y[a,b] = X[b,a]", {"a": 2, "b": 3})
+        assert op.loop_dims == ("a", "b")
+
+    def test_undeclared_iterator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_einsum("Y[i] += A[i,z]", {"i": 4})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_einsum("this is not einsum", {"i": 4})

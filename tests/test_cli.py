@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_catalog_command(self, capsys):
+        assert main(["catalog"]) == 0
+        output = capsys.readouterr().out
+        assert "(IJ-P | J,IJK-T)" in output
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6" in output and "fig12" in output
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "not-an-experiment"]) == 1
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        output = capsys.readouterr().out
+        assert "fig1-reuse-example" in output
+
+    def test_analyze_command(self, capsys):
+        code = main([
+            "analyze", "--kernel", "gemm", "--sizes", "16", "16", "16",
+            "--dataflow", "(IJ-P | J,IJK-T)", "--pe", "8", "8",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "latency" in output and "PE utilization" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "tenet" in capsys.readouterr().out
+
+    def test_every_registered_experiment_is_callable(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name
+
+    def test_parser_version(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--version"])

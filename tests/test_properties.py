@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ArchSpec, Mesh, NoInterconnect, PEArray, Systolic2D
+from repro.core import Dataflow, analyze
+from repro.isl import IntSet, parse_set
+from repro.isl.count import count_points
+from repro.isl.expr import AffExpr, var
+from repro.tensor import gemm
+
+dims = st.sampled_from(["i", "j", "k", "l"])
+small_ints = st.integers(min_value=-6, max_value=6)
+
+
+def expr_strategy():
+    """Random quasi-affine expressions over a small variable set."""
+    base = st.one_of(
+        dims.map(AffExpr.variable),
+        small_ints.map(AffExpr.constant),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: pair[0] + pair[1]),
+            st.tuples(children, small_ints).map(lambda pair: pair[0] * pair[1]),
+            st.tuples(children, st.integers(2, 5)).map(lambda pair: pair[0] % pair[1]),
+            st.tuples(children, st.integers(2, 5)).map(lambda pair: pair[0] // pair[1]),
+            children.map(lambda e: -e),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+env_strategy = st.fixed_dictionaries({name: st.integers(-20, 20) for name in ["i", "j", "k", "l"]})
+
+
+class TestExpressionProperties:
+    @given(expr_strategy(), env_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_and_vector_evaluation_agree(self, expr, env):
+        import numpy as np
+
+        scalar = expr.evaluate(env)
+        vector = expr.evaluate_vec({name: np.array([value]) for name, value in env.items()})
+        assert int(vector[0]) == scalar
+
+    @given(expr_strategy(), expr_strategy(), env_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_is_commutative_under_evaluation(self, left, right, env):
+        assert (left + right).evaluate(env) == (right + left).evaluate(env)
+
+    @given(expr_strategy(), env_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_negation_is_involutive(self, expr, env):
+        assert (-(-expr)).evaluate(env) == expr.evaluate(env)
+
+    @given(expr_strategy(), env_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_interval_bounds_contain_evaluation(self, expr, env):
+        bounds = {name: (value, value + 3) for name, value in env.items()}
+        lo, hi = expr.bounds(bounds)
+        for offset in range(4):
+            point = {name: value + offset for name, value in env.items()}
+            assert lo <= expr.evaluate(point) <= hi
+
+    @given(expr_strategy(), env_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_substitution_matches_direct_evaluation(self, expr, env):
+        substituted = expr.substitute({"i": var("j") + 1})
+        shifted = dict(env)
+        shifted["i"] = env["j"] + 1
+        assert substituted.evaluate(env) == expr.evaluate(shifted)
+
+
+class TestSetCountingProperties:
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_count_formula(self, size_i, size_j, cutoff):
+        text = (
+            f"{{ S[i, j] : 0 <= i < {size_i} and 0 <= j < {size_j} and i + j < {cutoff} }}"
+        )
+        expected = sum(
+            1 for i in range(size_i) for j in range(size_j) if i + j < cutoff
+        )
+        assert parse_set(text).count() == expected
+
+    @given(st.integers(1, 10), st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_box_count_is_product(self, a, b, c):
+        box = IntSet.from_sizes("S", ["x", "y", "z"], [a, b, c])
+        assert count_points(box) == a * b * c
+
+    @given(st.integers(1, 20), st.integers(2, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_modulus_constraint_count(self, size, modulus):
+        text = f"{{ S[i] : 0 <= i < {size} and i mod {modulus} = 0 }}"
+        assert parse_set(text).count() == len(range(0, size, modulus))
+
+
+class TestModelInvariants:
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(2, 8), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_volume_invariants_hold_for_random_gemm_shapes(self, size_i, size_j, size_k, fold):
+        op = gemm(size_i, size_j, size_k)
+        rows = max(1, size_i // fold)
+        cols = max(1, size_j // fold)
+        dataflow = Dataflow.from_exprs(
+            "prop", op,
+            [f"i mod {rows}", f"j mod {cols}"],
+            [f"fl(i/{rows})", f"fl(j/{cols})", f"i mod {rows} + j mod {cols} + k"],
+        )
+        arch = ArchSpec(pe_array=PEArray((rows, cols)), interconnect=Systolic2D())
+        report = analyze(op, dataflow, arch)
+        instances = op.num_instances()
+        for volume in report.volumes.values():
+            assert volume.total == instances
+            assert volume.reuse == volume.temporal_reuse + volume.spatial_reuse
+            assert 0 <= volume.unique <= volume.total
+            assert volume.footprint <= volume.total
+            assert volume.unique >= volume.footprint or volume.total == 0
+        assert 0 < report.average_pe_utilization <= 1.0
+        assert report.max_pe_utilization <= 1.0
+        assert report.latency_cycles >= report.utilization.num_time_stamps
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_no_interconnect_never_beats_systolic(self, size_i, size_j, size_k):
+        op = gemm(size_i, size_j, size_k)
+        dataflow = Dataflow.from_exprs(
+            "prop", op, ["i", "j"], ["i + j + k"],
+        )
+        systolic = ArchSpec(pe_array=PEArray((size_i, size_j)), interconnect=Systolic2D())
+        isolated = ArchSpec(pe_array=PEArray((size_i, size_j)), interconnect=NoInterconnect())
+        with_links = analyze(op, dataflow, systolic)
+        without_links = analyze(op, dataflow, isolated)
+        assert without_links.unique_volume() >= with_links.unique_volume()
+
+    @given(st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_mesh_reuse_at_least_systolic(self, size_i, size_j):
+        op = gemm(size_i, size_j, 4)
+        dataflow = Dataflow.from_exprs("prop", op, ["i", "j"], ["i + j + k"])
+        mesh = analyze(op, dataflow, ArchSpec(pe_array=PEArray((size_i, size_j)),
+                                              interconnect=Mesh()))
+        systolic = analyze(op, dataflow, ArchSpec(pe_array=PEArray((size_i, size_j)),
+                                                  interconnect=Systolic2D()))
+        assert mesh.unique_volume() <= systolic.unique_volume()

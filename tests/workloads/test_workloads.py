@@ -1,0 +1,99 @@
+"""Tests for the workload tables and the scaling helpers."""
+
+import pytest
+
+from repro.workloads import (
+    alexnet,
+    als,
+    googlenet,
+    mobilenet,
+    scale_layer,
+    scale_sizes,
+    scaled_op,
+    transformer,
+    vgg16,
+)
+from repro.workloads.dnn import ConvLayer, MttkrpLayer
+
+
+class TestLayerTables:
+    def test_alexnet_has_five_convs(self):
+        net = alexnet()
+        assert len(net) == 5
+        conv3 = net.layer("CONV3")
+        assert conv3.out_channels == 384 and conv3.in_channels == 256
+        assert conv3.out_x == 13 and conv3.filter_x == 3
+
+    def test_vgg16_layer_names(self):
+        assert vgg16().layer_names() == ["CONV1-1", "CONV2-1", "CONV3-1", "CONV4-1", "CONV5-1"]
+
+    def test_googlenet_and_mobilenet_types(self):
+        assert any(layer.depthwise for layer in mobilenet())
+        assert any(layer.is_pointwise for layer in mobilenet())
+        assert not any(layer.depthwise for layer in googlenet())
+
+    def test_macs_are_positive_and_consistent(self):
+        for workload in (alexnet(), vgg16(), googlenet(), mobilenet()):
+            assert workload.total_macs > 0
+            for layer in workload:
+                assert layer.macs == layer.to_op().num_instances()
+
+    def test_als_full_scale_sizes(self):
+        full = als(full_scale=True).layers[0]
+        assert isinstance(full, MttkrpLayer)
+        assert full.size_i == 480_000
+        assert als().total_macs < full.macs
+
+    def test_transformer_layers(self):
+        assert len(transformer()) == 3
+        assert transformer(full_scale=True).total_macs > transformer().total_macs
+
+    def test_unknown_layer_lookup(self):
+        with pytest.raises(KeyError):
+            alexnet().layer("CONV9")
+
+
+class TestScaling:
+    def test_scale_sizes_preserves_filters(self):
+        sizes = {"k": 512, "c": 512, "ox": 14, "oy": 14, "rx": 3, "ry": 3}
+        scaled, factor = scale_sizes(sizes, max_instances=500_000)
+        assert scaled["rx"] == 3 and scaled["ry"] == 3
+        product = 1
+        for value in scaled.values():
+            product *= value
+        assert product <= 500_000
+        assert factor == pytest.approx((512 * 512 * 14 * 14 * 9) / product)
+
+    def test_scale_noop_when_small_enough(self):
+        sizes = {"i": 8, "j": 8}
+        scaled, factor = scale_sizes(sizes, max_instances=1000)
+        assert scaled == sizes and factor == 1.0
+
+    def test_scale_layer_roundtrip(self):
+        layer = vgg16().layer("CONV4-1")
+        scaled, factor = scale_layer(layer, max_instances=200_000)
+        assert isinstance(scaled, ConvLayer)
+        assert scaled.macs <= 200_000
+        assert factor > 1.0
+        assert scaled.filter_x == layer.filter_x
+
+    def test_scale_depthwise_layer(self):
+        layer = mobilenet().layer("dw-CONV2")
+        scaled, _ = scale_layer(layer, max_instances=50_000)
+        assert scaled.depthwise
+        assert scaled.macs <= 50_000
+
+    def test_scaled_op(self):
+        from repro.tensor import gemm
+
+        op = gemm(512, 512, 512)
+        smaller, factor = scaled_op(op, max_instances=100_000)
+        assert smaller.num_instances() <= 100_000
+        assert factor > 1.0
+        assert smaller.loop_dims == op.loop_dims
+
+    def test_scaled_dimensions_stay_pe_aligned(self):
+        sizes = {"k": 256, "c": 256, "ox": 14, "oy": 14, "rx": 3, "ry": 3}
+        scaled, _ = scale_sizes(sizes, max_instances=300_000, granularity=8)
+        assert scaled["k"] % 8 == 0
+        assert scaled["c"] % 8 == 0
