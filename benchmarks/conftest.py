@@ -10,7 +10,21 @@ time, not micro-timing stability.
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark regenerates a full evaluation artefact: mark them slow
+    so the default CI lane (``-m "not slow"``) skips them.
+
+    The hook sees the whole session's items, so restrict it to this directory.
+    """
+    here = pathlib.Path(__file__).parent
+    for item in items:
+        if here in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, runner, *args, **kwargs):

@@ -1,0 +1,90 @@
+"""Acceptance benchmark for the shared evaluation engine.
+
+A 100-candidate GEMM sweep through :class:`EvaluationEngine` (single process,
+relation cache on) must be at least 2x faster than 100 independent
+``TenetAnalyzer`` runs while producing bit-identical performance reports.
+"""
+
+import itertools
+import time
+
+from repro.core.analyzer import TenetAnalyzer
+from repro.core.engine import EvaluationEngine, RelationCache, dataflow_signature
+from repro.core.dataflow import Dataflow
+from repro.experiments.common import make_arch
+from repro.isl.expr import var
+from repro.tensor.kernels import gemm
+
+GEMM_SIZE = 48
+PE_DIMS = (8, 8)
+NUM_CANDIDATES = 100
+
+
+def sweep_candidates(op, count=NUM_CANDIDATES):
+    """Structurally distinct GEMM dataflows: space-axis pairs x time orders x skews."""
+    rows, cols = PE_DIMS
+    dims = list(op.loop_dims)
+    candidates = []
+    seen = set()
+    for first, second in itertools.permutations(dims, 2):
+        remaining = [dim for dim in dims if dim not in (first, second)]
+        space = [var(first) % rows, var(second) % cols]
+        base = [var(remaining[0]), var(first) // rows, var(second) // cols]
+        for order in itertools.permutations(range(len(base))):
+            for skew in range(4):
+                time_exprs = [base[index] for index in order]
+                inner = time_exprs[-1]
+                if skew & 1:
+                    inner = inner + space[0]
+                if skew & 2:
+                    inner = inner + space[1]
+                time_exprs = time_exprs[:-1] + [inner]
+                name = f"({first}{second}-P | {''.join(map(str, order))}s{skew}-T)"
+                candidate = Dataflow.from_exprs(name, op.domain.space, space, time_exprs)
+                signature = dataflow_signature(candidate)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                candidates.append(candidate)
+                if len(candidates) == count:
+                    return candidates
+    raise AssertionError(f"only generated {len(candidates)} distinct candidates")
+
+
+def comparable(report):
+    data = report.as_dict()
+    data.pop("analysis_seconds")
+    data["notes"] = list(report.notes)
+    return data
+
+
+def test_bench_engine_sweep(benchmark):
+    op = gemm(GEMM_SIZE, GEMM_SIZE, GEMM_SIZE)
+    arch = make_arch(pe_dims=PE_DIMS, interconnect="2d-systolic")
+    candidates = sweep_candidates(op)
+    assert len(candidates) == NUM_CANDIDATES
+
+    started = time.perf_counter()
+    baseline = [TenetAnalyzer(op, candidate, arch).analyze() for candidate in candidates]
+    baseline_seconds = time.perf_counter() - started
+
+    engine = EvaluationEngine(op, arch, jobs=1, cache=RelationCache())
+
+    def sweep():
+        return engine.evaluate_batch(candidates)
+
+    batch = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    engine_seconds = batch.seconds
+    speedup = baseline_seconds / engine_seconds
+
+    print()
+    print(f"independent analyzer runs : {baseline_seconds:.2f} s")
+    print(f"engine sweep (cache on)   : {engine_seconds:.2f} s")
+    print(f"speedup                   : {speedup:.2f}x")
+    print(f"engine stats              : {engine.stats}")
+
+    reports = batch.reports
+    assert len(reports) == NUM_CANDIDATES
+    for reference, cached in zip(baseline, reports):
+        assert comparable(reference) == comparable(cached)
+    assert speedup >= 2.0, f"engine sweep only {speedup:.2f}x faster than independent runs"

@@ -5,6 +5,8 @@ Examples::
     tenet catalog
     tenet analyze --kernel gemm --sizes 64 64 64 --dataflow "(IJ-P | J,IJK-T)" \
         --pe 8 8 --interconnect 2d-systolic --bandwidth 128
+    tenet explore --kernel conv2d --sizes 16 16 7 7 3 3 --objective latency \
+        --jobs 4 --top 5
     tenet experiment fig1 design-space table3
     tenet experiment --list
 """
@@ -17,7 +19,10 @@ from typing import Callable, Sequence
 
 from repro._version import __version__
 from repro.core.analyzer import analyze
+from repro.core.engine import OBJECTIVES
 from repro.dataflows.catalog import all_entries, get_dataflow
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.pruning import pruned_candidates
 from repro.experiments import (
     design_space_size,
     dse_experiment,
@@ -72,6 +77,41 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    if len(args.pe) != 2:
+        print("tenet explore: error: --pe takes exactly two extents (rows cols), "
+              f"got {args.pe}")
+        return 1
+    op = make_kernel(args.kernel, args.sizes)
+    arch = make_arch(
+        pe_dims=tuple(args.pe),
+        interconnect=args.interconnect,
+        bandwidth_bits=args.bandwidth,
+    )
+    explorer = DesignSpaceExplorer(
+        op,
+        arch,
+        objective=args.objective,
+        max_instances=args.max_instances,
+        jobs=args.jobs,
+    )
+    candidates = pruned_candidates(
+        op,
+        pe_dims=tuple(args.pe),
+        allow_packing=not args.no_packing,
+        max_candidates=args.max_candidates,
+    )
+    result = explorer.explore(candidates, early_termination=args.early_termination)
+    print(result.summary(count=args.top))
+    stats = explorer.engine.stats
+    print(
+        f"engine: {stats['evaluated']} evaluated, {stats['memo_hits']} memo hits, "
+        f"{stats['pruned']} pruned, {stats['failures']} invalid "
+        f"(jobs={args.jobs}, relation cache {explorer.engine.cache.stats()})"
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.list or not args.names:
         print("available experiments:", ", ".join(sorted(EXPERIMENTS)))
@@ -109,6 +149,32 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument("--bandwidth", type=float, default=128.0)
     analyze_cmd.add_argument("--max-instances", type=int, default=8_000_000)
     analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    explore = subparsers.add_parser(
+        "explore", help="sweep the pruned dataflow design space for one kernel"
+    )
+    explore.add_argument("--kernel", required=True,
+                         help="gemm, conv2d, mttkrp, mmc, jacobi2d, conv1d")
+    explore.add_argument("--sizes", type=int, nargs="+", required=True,
+                         help="loop extents, e.g. 64 64 64 for GEMM")
+    explore.add_argument("--pe", type=int, nargs="+", default=[8, 8])
+    explore.add_argument("--interconnect", default="2d-systolic")
+    explore.add_argument("--bandwidth", type=float, default=128.0)
+    explore.add_argument("--objective", default="latency", choices=sorted(OBJECTIVES),
+                         help="ranking objective")
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep (1 = serial)")
+    explore.add_argument("--top", type=int, default=5, help="how many best dataflows to print")
+    explore.add_argument("--max-candidates", type=int, default=64,
+                         help="cap on generated candidate dataflows")
+    explore.add_argument("--max-instances", type=int, default=4_000_000)
+    explore.add_argument("--no-packing", action="store_true",
+                         help="skip the packed (Eyeriss-style) candidate family")
+    explore.add_argument("--early-termination", action="store_true",
+                         help="skip metric computation for provably worse candidates "
+                              "(latency/edp objectives; only the best rank is "
+                              "guaranteed, lower ranks may be pruned)")
+    explore.set_defaults(handler=_cmd_explore)
 
     experiment = subparsers.add_parser("experiment", help="run evaluation experiments")
     experiment.add_argument("names", nargs="*", help="experiment names (see --list)")

@@ -23,6 +23,14 @@ from repro.core.bandwidth import BandwidthReport
 from repro.core.energy_model import EnergyBreakdown
 from repro.core.metrics import PerformanceReport
 from repro.core.analyzer import TenetAnalyzer, analyze
+from repro.core.engine import (
+    BatchResult,
+    CandidateOutcome,
+    EvaluationEngine,
+    RelationCache,
+    RelationMaterializer,
+    dataflow_signature,
+)
 from repro.core.notation import dataflow_shorthand, parse_shorthand_name
 
 __all__ = [
@@ -38,6 +46,12 @@ __all__ = [
     "PerformanceReport",
     "TenetAnalyzer",
     "analyze",
+    "EvaluationEngine",
+    "RelationCache",
+    "RelationMaterializer",
+    "BatchResult",
+    "CandidateOutcome",
+    "dataflow_signature",
     "dataflow_shorthand",
     "parse_shorthand_name",
 ]

@@ -16,13 +16,18 @@ and computes every Section V metric:
 
 The role ISL/Barvinok play in the paper — representing relations and counting
 them — is carried by :mod:`repro.isl` plus the vectorised counting here.
+
+Relation materialisation lives in :class:`repro.core.engine.RelationMaterializer`
+so that design-space sweeps can cache the dataflow-independent arrays; this
+class remains the single-candidate entry point and streams the domain without
+retaining it, exactly as before the refactor.  For sweeps over many candidate
+dataflows use :class:`repro.core.engine.EvaluationEngine`, which shares the
+materialised relations across candidates and can evaluate in parallel.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -30,51 +35,17 @@ from repro.arch.spec import ArchSpec
 from repro.core.bandwidth import compute_bandwidth
 from repro.core.dataflow import Dataflow
 from repro.core.energy_model import compute_energy
+from repro.core.engine import RelationMaterializer, TensorColumns
 from repro.core.latency import compute_latency
 from repro.core.metrics import PerformanceReport
 from repro.core.spacetime import SpacetimeMap
 from repro.core.utilization import compute_utilization
 from repro.core.volumes import VolumeMetrics, compute_volume_metrics
 from repro.errors import DataflowError, ModelError
-from repro.isl.enumeration import chunk_length
 from repro.tensor.operation import TensorOp
 
-
-@dataclass
-class _TensorColumns:
-    """Per-reference element-coordinate bounds of one tensor (shared radix)."""
-
-    bounds: list[tuple[int, int]]
-
-    @property
-    def extent(self) -> int:
-        """Exclusive upper bound of the mixed-radix element keys."""
-        total = 1
-        for lo, hi in self.bounds:
-            total *= max(1, hi - lo + 1)
-        return total
-
-    def encode(self, coords: np.ndarray) -> np.ndarray:
-        keys = np.zeros(coords.shape[0], dtype=np.int64)
-        scale = 1
-        for column, (lo, hi) in enumerate(self.bounds):
-            extent = max(1, hi - lo + 1)
-            keys += (coords[:, column] - lo) * scale
-            scale *= extent
-        return keys
-
-    def encode_columns(self, columns: Sequence[np.ndarray]) -> np.ndarray:
-        """Encode per-coordinate arrays without stacking them first."""
-        keys: np.ndarray | None = None
-        scale = 1
-        for column, (lo, hi) in zip(columns, self.bounds):
-            extent = max(1, hi - lo + 1)
-            term = (column.astype(np.int64) - lo) * scale
-            keys = term if keys is None else keys + term
-            scale *= extent
-        if keys is None:
-            return np.zeros(0, dtype=np.int64)
-        return keys
+#: Backwards-compatible alias; the element-bounds helper moved to the engine.
+_TensorColumns = TensorColumns
 
 
 class TenetAnalyzer:
@@ -90,6 +61,7 @@ class TenetAnalyzer:
         chunk_size: int = 1 << 20,
         validate: bool = False,
         temporal_interval: int = 1,
+        materializer: RelationMaterializer | None = None,
     ):
         self.op = op
         self.dataflow = dataflow.bind(op)
@@ -98,6 +70,7 @@ class TenetAnalyzer:
         self.chunk_size = int(chunk_size)
         self.should_validate = validate
         self.temporal_interval = int(temporal_interval)
+        self.materializer = materializer or RelationMaterializer(op, chunk_size=self.chunk_size)
 
     # -- public API -------------------------------------------------------------
 
@@ -194,94 +167,15 @@ class TenetAnalyzer:
 
     # -- relation materialisation ---------------------------------------------------
 
-    def _element_bounds(self) -> dict[str, _TensorColumns]:
+    def _element_bounds(self) -> dict[str, TensorColumns]:
         """Shared per-coordinate bounds for every tensor (across its references)."""
-        inclusive = {
-            dim: (lo, hi - 1) for dim, (lo, hi) in self.op.domain.derived_bounds().items()
-        }
-        result: dict[str, _TensorColumns] = {}
-        for tensor in self.op.tensor_names:
-            combined: list[tuple[int, int]] | None = None
-            for access in self.op.accesses_to(tensor):
-                bounds = [expr.bounds(inclusive) for expr in access.relation.out_exprs]
-                if combined is None:
-                    combined = bounds
-                else:
-                    combined = [
-                        (min(a[0], b[0]), max(a[1], b[1])) for a, b in zip(combined, bounds)
-                    ]
-            result[tensor] = _TensorColumns(combined or [])
-        return result
+        return self.materializer.element_bounds()
 
     def _materialize_relations(self):
         """Evaluate dataflow and access relations over the whole iteration domain."""
-        pe_dims = self.arch.pe_array.dims
-        time_bounds = self.dataflow.time_bounds(self.op)
-        time_extents = [hi - lo + 1 for lo, hi in time_bounds]
-        time_lows = [lo for lo, _ in time_bounds]
-        element_bounds = self._element_bounds()
-
-        pe_parts: list[np.ndarray] = []
-        time_parts: list[np.ndarray] = []
-        element_parts: dict[str, list[list[np.ndarray]]] = {
-            tensor: [[] for _ in self.op.accesses_to(tensor)]
-            for tensor in self.op.tensor_names
-        }
-
-        total = 0
-        for chunk in self.op.domain.chunks(self.chunk_size):
-            length = chunk_length(chunk)
-            total += length
-            if total > self.max_instances:
-                raise ModelError(
-                    f"iteration domain exceeds the analyzer cap of {self.max_instances} "
-                    "instances; scale the workload first"
-                )
-
-            pe_lin = np.zeros(length, dtype=np.int64)
-            for extent, expr in zip(pe_dims, self.dataflow.pe_exprs):
-                column = expr.evaluate_vec(chunk)
-                if (column < 0).any() or (column >= extent).any():
-                    raise DataflowError(
-                        f"dataflow {self.dataflow.name!r} maps instances outside the "
-                        f"{self.arch.pe_array} array"
-                    )
-                pe_lin = pe_lin * extent + column
-            pe_parts.append(pe_lin)
-
-            time_key = np.zeros(length, dtype=np.int64)
-            for axis, (extent, expr) in enumerate(zip(time_extents, self.dataflow.time_exprs)):
-                time_key = time_key * extent + (expr.evaluate_vec(chunk) - time_lows[axis])
-            time_parts.append(time_key)
-
-            for tensor in self.op.tensor_names:
-                columns = element_bounds[tensor]
-                for index, access in enumerate(self.op.accesses_to(tensor)):
-                    coordinate_arrays = [
-                        expr.evaluate_vec(chunk) for expr in access.relation.out_exprs
-                    ]
-                    element_parts[tensor][index].append(
-                        columns.encode_columns(coordinate_arrays)
-                    )
-
-        if total == 0:
-            raise ModelError(f"operation {self.op.name} has an empty iteration domain")
-
-        from repro.isl.enumeration import sorted_unique
-
-        pe_lin = np.concatenate(pe_parts)
-        time_keys = np.concatenate(time_parts)
-        unique_times = sorted_unique(time_keys)
-        t_rank = np.searchsorted(unique_times, time_keys)
-
-        element_keys = {
-            tensor: [np.concatenate(parts) for parts in per_reference]
-            for tensor, per_reference in element_parts.items()
-        }
-        element_extents = {
-            tensor: columns.extent for tensor, columns in element_bounds.items()
-        }
-        return pe_lin, t_rank, element_keys, element_extents
+        return self.materializer.materialize(
+            self.dataflow, self.arch.pe_array, self.max_instances
+        )
 
 
 def analyze(op: TensorOp, dataflow: Dataflow, arch: ArchSpec, **kwargs) -> PerformanceReport:

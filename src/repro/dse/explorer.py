@@ -1,27 +1,35 @@
-"""Objective-driven exploration of candidate dataflows."""
+"""Objective-driven exploration of candidate dataflows.
+
+The explorer is a thin consumer of :class:`repro.core.engine.EvaluationEngine`:
+it deduplicates structurally identical candidates, evaluates the batch (with
+the shared relation cache, optional process-pool parallelism and optional
+objective-aware early termination) and ranks the survivors.  Ranking is
+deterministic: ties on the objective are broken by dataflow name, so equal
+score candidates order stably across runs and across worker processes.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from repro.arch.spec import ArchSpec
-from repro.core.analyzer import TenetAnalyzer
 from repro.core.dataflow import Dataflow
+from repro.core.engine import (
+    OBJECTIVES,
+    EvaluationEngine,
+    RelationCache,
+    dataflow_signature,
+)
 from repro.core.metrics import PerformanceReport
 from repro.errors import ExplorationError
 from repro.tensor.operation import TensorOp
 
 Objective = Callable[[PerformanceReport], float]
 
-_OBJECTIVES: dict[str, Objective] = {
-    "latency": lambda report: report.latency_cycles,
-    "energy": lambda report: report.energy.total_pj,
-    "edp": lambda report: report.latency_cycles * report.energy.total_pj,
-    "sbw": lambda report: report.scratchpad_bandwidth_bits(),
-    "unique_volume": lambda report: float(report.unique_volume()),
-}
+#: Backwards-compatible alias; the canonical registry lives in the engine.
+_OBJECTIVES: dict[str, Objective] = OBJECTIVES
 
 
 @dataclass
@@ -31,6 +39,10 @@ class ExplorationResult:
     objective: str
     evaluated: list[PerformanceReport] = field(default_factory=list)
     failures: list[tuple[str, str]] = field(default_factory=list)
+    #: Candidates skipped by early termination: (name, lower bound on score).
+    pruned: list[tuple[str, float]] = field(default_factory=list)
+    #: Structurally identical candidates skipped before evaluation.
+    duplicates: int = 0
     seconds: float = 0.0
 
     @property
@@ -41,17 +53,18 @@ class ExplorationResult:
 
     @property
     def num_candidates(self) -> int:
-        return len(self.evaluated) + len(self.failures)
+        return len(self.evaluated) + len(self.failures) + len(self.pruned) + self.duplicates
 
     def top(self, count: int = 5) -> list[PerformanceReport]:
         return self.evaluated[:count]
 
-    def summary(self) -> str:
+    def summary(self, count: int = 5) -> str:
         lines = [
             f"explored {self.num_candidates} candidates in {self.seconds:.1f}s "
-            f"({len(self.failures)} invalid), objective = {self.objective}",
+            f"({len(self.failures)} invalid, {len(self.pruned)} pruned, "
+            f"{self.duplicates} duplicate), objective = {self.objective}",
         ]
-        for rank, report in enumerate(self.top(), start=1):
+        for rank, report in enumerate(self.top(count), start=1):
             lines.append(
                 f"  {rank}. {report.dataflow:30s} latency={report.latency_cycles:.0f} "
                 f"util={report.average_pe_utilization:.2f} "
@@ -61,7 +74,7 @@ class ExplorationResult:
 
 
 class DesignSpaceExplorer:
-    """Evaluate candidate dataflows with the TENET analyzer and rank them."""
+    """Evaluate candidate dataflows with the evaluation engine and rank them."""
 
     def __init__(
         self,
@@ -71,39 +84,84 @@ class DesignSpaceExplorer:
         *,
         max_instances: int = 4_000_000,
         chunk_size: int = 1 << 20,
+        jobs: int = 1,
+        cache: RelationCache | None = None,
     ):
         self.op = op
         self.arch = arch
         if callable(objective):
             self.objective_name = getattr(objective, "__name__", "custom")
             self.objective = objective
+            self._objective_key = None
         else:
-            if objective not in _OBJECTIVES:
+            if objective not in OBJECTIVES:
                 raise ExplorationError(
-                    f"unknown objective {objective!r}; available: {sorted(_OBJECTIVES)}"
+                    f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
                 )
             self.objective_name = objective
-            self.objective = _OBJECTIVES[objective]
+            self.objective = OBJECTIVES[objective]
+            self._objective_key = objective
         self.max_instances = max_instances
         self.chunk_size = chunk_size
+        self.jobs = max(1, int(jobs))
+        self.engine = EvaluationEngine(
+            op,
+            arch,
+            max_instances=max_instances,
+            chunk_size=chunk_size,
+            jobs=self.jobs,
+            cache=cache,
+        )
 
-    def explore(self, candidates: Iterable[Dataflow]) -> ExplorationResult:
-        """Analyse every candidate and return them sorted by the objective."""
+    def explore(
+        self,
+        candidates: Iterable[Dataflow],
+        *,
+        early_termination: bool = False,
+        dedupe: bool = True,
+    ) -> ExplorationResult:
+        """Analyse every candidate and return them sorted by the objective.
+
+        Only repro modelling errors (``ModelError``/``DataflowError``/
+        ``SpaceError``) mark a candidate as invalid; genuine bugs — a
+        ``TypeError`` in a custom objective, ``KeyboardInterrupt`` —
+        propagate to the caller.
+
+        ``early_termination`` prunes candidates whose partial lower bound
+        already exceeds the best score.  Only the *best* candidate is
+        guaranteed unchanged: lower ranks may be pruned, so request a full
+        sweep when the whole top-k matters.  It requires a named objective
+        with a registered lower bound (``latency``/``edp``) and is silently
+        a no-op otherwise (in particular for callable objectives).
+        """
         started = time.perf_counter()
         result = ExplorationResult(objective=self.objective_name)
-        for dataflow in candidates:
-            try:
-                report = TenetAnalyzer(
-                    self.op,
-                    dataflow,
-                    self.arch,
-                    max_instances=self.max_instances,
-                    chunk_size=self.chunk_size,
-                ).analyze()
-            except Exception as error:  # noqa: BLE001 - candidates may be invalid by design
-                result.failures.append((dataflow.name, f"{type(error).__name__}: {error}"))
-                continue
-            result.evaluated.append(report)
-        result.evaluated.sort(key=self.objective)
+
+        batch_candidates: list[Dataflow] = []
+        if dedupe:
+            seen: set[str] = set()
+            for dataflow in candidates:
+                signature = dataflow_signature(dataflow)
+                if signature in seen:
+                    result.duplicates += 1
+                    continue
+                seen.add(signature)
+                batch_candidates.append(dataflow)
+        else:
+            batch_candidates = list(candidates)
+
+        batch = self.engine.evaluate_batch(
+            batch_candidates,
+            objective=self._objective_key if early_termination else None,
+            early_termination=early_termination,
+        )
+        for outcome in batch.outcomes:
+            if outcome.report is not None:
+                result.evaluated.append(outcome.report)
+            elif outcome.pruned:
+                result.pruned.append((outcome.name, outcome.bound))
+            elif outcome.error is not None:
+                result.failures.append((outcome.name, outcome.error))
+        result.evaluated.sort(key=lambda report: (self.objective(report), report.dataflow))
         result.seconds = time.perf_counter() - started
         return result

@@ -22,6 +22,7 @@ import itertools
 from typing import Iterator, Sequence
 
 from repro.core.dataflow import Dataflow
+from repro.core.engine import dataflow_signature
 from repro.isl.expr import AffExpr, var
 from repro.isl.space import Space
 from repro.tensor.operation import TensorOp
@@ -52,14 +53,23 @@ def pruned_candidates(
     dimensions as outer time loops in their original order.  With
     ``allow_packing`` an additional family packs two dimensions onto the first
     PE axis (the Eyeriss-style transformation).
+
+    Structurally identical candidates (same space/time expression signature
+    reached through different enumeration paths) are emitted only once, so
+    ``max_candidates`` counts distinct dataflows.
     """
     dims = list(op.loop_dims)
     sizes = op.loop_sizes()
     rows, cols = pe_dims
     count = 0
+    seen: set[str] = set()
 
     def emit(dataflow: Dataflow) -> Iterator[Dataflow]:
         nonlocal count
+        signature = dataflow_signature(dataflow)
+        if signature in seen:
+            return
+        seen.add(signature)
         count += 1
         yield dataflow
 

@@ -9,6 +9,7 @@ from repro.arch.interconnect import make_interconnect
 from repro.arch.memory import MemoryHierarchy
 from repro.arch.pe_array import PEArray
 from repro.arch.spec import ArchSpec
+from repro.core.engine import EvaluationEngine, RelationCache
 from repro.workloads.dnn import Layer
 from repro.workloads.scaling import scale_layer
 
@@ -113,3 +114,20 @@ def scaled_layer_op(layer: Layer, max_instances: int):
     """Scale a workload layer to the enumeration budget and return (op, factor)."""
     scaled, factor = scale_layer(layer, max_instances)
     return scaled.to_op(), factor, scaled
+
+
+#: Relation cache shared by every experiment driver in this process, so that
+#: drivers sweeping several dataflows (or architectures) over the same
+#: operation materialise its relations exactly once.
+_SHARED_RELATION_CACHE = RelationCache(max_entries=8)
+
+
+def shared_relation_cache() -> RelationCache:
+    """The process-wide relation cache used by the experiment drivers."""
+    return _SHARED_RELATION_CACHE
+
+
+def make_engine(op, arch, *, jobs: int = 1, **kwargs) -> EvaluationEngine:
+    """Build an :class:`EvaluationEngine` wired to the shared relation cache."""
+    kwargs.setdefault("cache", _SHARED_RELATION_CACHE)
+    return EvaluationEngine(op, arch, jobs=jobs, **kwargs)

@@ -3,16 +3,21 @@
 The paper prunes the 2D-CONV space to ``12 * 12 * 180 = 25 920`` dataflows and
 explores it in under an hour.  This driver reports the analytic count and runs
 the concrete pruned generator (a structurally distinct subset) through the
-explorer on a scaled CONV layer, reporting the best dataflows found and the
-exploration throughput, from which the time to sweep the paper-sized space is
-extrapolated.
+engine-backed explorer on a scaled CONV layer, reporting the best dataflows
+found and the exploration throughput, from which the time to sweep the
+paper-sized space is extrapolated.
+
+The sweep exercises the shared evaluation engine: relations are materialised
+once per operation, candidates can be evaluated by ``jobs`` worker processes,
+and ``early_termination`` skips the volume counting of candidates whose
+compute-delay lower bound already exceeds the best latency seen.
 """
 
 from __future__ import annotations
 
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.pruning import paper_pruned_count, pruned_candidates
-from repro.experiments.common import ExperimentResult, make_arch
+from repro.experiments.common import ExperimentResult, make_arch, shared_relation_cache
 from repro.tensor.kernels import conv2d
 
 
@@ -20,6 +25,8 @@ def run(
     conv_sizes: tuple[int, int, int, int, int, int] = (16, 16, 7, 7, 3, 3),
     max_candidates: int = 40,
     objective: str = "latency",
+    jobs: int = 1,
+    early_termination: bool = False,
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="dse-pruned-exploration",
@@ -27,10 +34,12 @@ def run(
     )
     op = conv2d(*conv_sizes)
     arch = make_arch(pe_dims=(8, 8), interconnect="2d-systolic")
-    explorer = DesignSpaceExplorer(op, arch, objective=objective)
+    explorer = DesignSpaceExplorer(
+        op, arch, objective=objective, jobs=jobs, cache=shared_relation_cache()
+    )
     candidates = pruned_candidates(op, pe_dims=(8, 8), allow_packing=True,
                                    max_candidates=max_candidates)
-    exploration = explorer.explore(candidates)
+    exploration = explorer.explore(candidates, early_termination=early_termination)
 
     for rank, report in enumerate(exploration.top(10), start=1):
         result.add_row(
@@ -44,10 +53,14 @@ def run(
     evaluated = max(1, len(exploration.evaluated))
     seconds_per_candidate = exploration.seconds / evaluated
     projected_hours = seconds_per_candidate * paper_pruned_count() / 3600.0
+    stats = explorer.engine.stats
     result.headline = {
         "candidates_evaluated": exploration.num_candidates,
         "invalid_candidates": len(exploration.failures),
+        "pruned_candidates": len(exploration.pruned),
         "exploration_seconds": round(exploration.seconds, 1),
+        "jobs": jobs,
+        "engine_fast_path_tensors": stats["fast_path"],
         "paper_pruned_space": paper_pruned_count(),
         "projected_hours_for_paper_space": round(projected_hours, 2),
         "paper_reported": "25 920 dataflows explored in under one hour",

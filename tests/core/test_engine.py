@@ -1,0 +1,249 @@
+"""Tests for the shared evaluation engine (repro.core.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataflow
+from repro.core.analyzer import TenetAnalyzer
+from repro.core.engine import (
+    EvaluationEngine,
+    RelationCache,
+    RelationMaterializer,
+    _grouped_volume_metrics,
+    _rank_keys,
+    _utilization_dense,
+    dataflow_signature,
+    op_signature,
+)
+from repro.core.utilization import compute_utilization
+from repro.errors import DataflowError, ExplorationError, ModelError
+from repro.experiments.common import make_arch
+from repro.dse.pruning import pruned_candidates
+from repro.isl.enumeration import sorted_unique
+from repro.isl.expr import var
+from repro.tensor.kernels import conv2d, gemm
+
+
+def report_dict(report):
+    """Comparable view of a report: everything except the wall-clock field."""
+    data = report.as_dict()
+    data.pop("analysis_seconds")
+    data["notes"] = list(report.notes)
+    return data
+
+
+def small_candidates(op, pe_dims=(4, 4), count=6):
+    return list(pruned_candidates(op, pe_dims=pe_dims, allow_packing=True,
+                                  max_candidates=count))
+
+
+class TestSignatures:
+    def test_dataflow_signature_ignores_name(self):
+        op = gemm(8, 8, 8)
+        a = Dataflow.from_exprs("one", op.domain.space, ["i mod 4", "j mod 4"], ["k"])
+        b = Dataflow.from_exprs("two", op.domain.space, ["i mod 4", "j mod 4"], ["k"])
+        assert dataflow_signature(a) == dataflow_signature(b)
+
+    def test_dataflow_signature_separates_structures(self):
+        op = gemm(8, 8, 8)
+        a = Dataflow.from_exprs("d", op.domain.space, ["i mod 4", "j mod 4"], ["k"])
+        b = Dataflow.from_exprs("d", op.domain.space, ["j mod 4", "i mod 4"], ["k"])
+        assert dataflow_signature(a) != dataflow_signature(b)
+
+    def test_op_signature_depends_on_sizes(self):
+        assert op_signature(gemm(8, 8, 8)) != op_signature(gemm(8, 8, 16))
+
+
+class TestMaterializer:
+    def test_cached_materialisation_matches_streaming(self):
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        dataflow = small_candidates(op)[0].bind(op)
+        streaming = RelationMaterializer(op)
+        cached = RelationMaterializer(op, cache=RelationCache())
+        pe_a, tr_a, keys_a, ext_a = streaming.materialize(dataflow, arch.pe_array, 10**7)
+        pe_b, tr_b, keys_b, ext_b = cached.materialize(dataflow, arch.pe_array, 10**7)
+        np.testing.assert_array_equal(pe_a, pe_b)
+        np.testing.assert_array_equal(tr_a, tr_b)
+        assert ext_a == ext_b
+        for tensor in keys_a:
+            for ref_a, ref_b in zip(keys_a[tensor], keys_b[tensor]):
+                np.testing.assert_array_equal(ref_a, ref_b)
+
+    def test_cache_is_shared_across_materializers(self):
+        op = gemm(8, 8, 8)
+        cache = RelationCache()
+        first = RelationMaterializer(op, cache=cache)
+        second = RelationMaterializer(op, cache=cache)
+        assert first.relations(10**6) is second.relations(10**6)
+        assert cache.stats()["hits"] >= 1
+
+    def test_cache_eviction(self):
+        cache = RelationCache(max_entries=1)
+        for size in (4, 6):
+            RelationMaterializer(gemm(size, size, size), cache=cache).relations(10**6)
+        assert len(cache) == 1
+
+    def test_oversized_op_is_not_cached(self):
+        op = gemm(16, 16, 16)
+        cache = RelationCache(max_instances=100)
+        materializer = RelationMaterializer(op, cache=cache)
+        assert materializer.relations(10**7) is None
+        assert len(cache) == 0
+
+
+class TestFastHelpers:
+    def test_rank_keys_matches_searchsorted(self):
+        rng = np.random.default_rng(7)
+        for span in (50, 10**7):
+            keys = rng.integers(0, span, size=2000)
+            expected = np.searchsorted(sorted_unique(keys), keys)
+            np.testing.assert_array_equal(_rank_keys(keys), expected)
+
+    def test_utilization_dense_matches_reference(self):
+        rng = np.random.default_rng(11)
+        pe = rng.integers(0, 16, size=3000)
+        time_key = rng.integers(0, 40, size=3000)
+        t_rank = _rank_keys(time_key)
+        dense = _utilization_dense(pe, t_rank, 16)
+        reference = compute_utilization(pe, t_rank, 16)
+        assert dense == reference
+
+
+class TestEngineReports:
+    @pytest.mark.parametrize("make_op", [
+        lambda: gemm(16, 16, 16),
+        lambda: conv2d(6, 6, 5, 5, 3, 3),
+    ], ids=["gemm", "conv2d"])
+    @pytest.mark.parametrize("interconnect", ["2d-systolic", "mesh", "multicast"])
+    def test_cached_reports_equal_uncached(self, make_op, interconnect):
+        op = make_op()
+        arch = make_arch(pe_dims=(4, 4), interconnect=interconnect)
+        engine = EvaluationEngine(op, arch, cache=RelationCache())
+        for candidate in small_candidates(op):
+            uncached = TenetAnalyzer(op, candidate, arch).analyze()
+            cached = engine.evaluate(candidate)
+            assert report_dict(uncached) == report_dict(cached)
+
+    def test_non_injective_dataflow_equal_reports(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        collapsing = Dataflow.from_exprs(
+            "collapse", op.domain.space, ["i mod 4", "j mod 4"], ["k mod 4"]
+        )
+        uncached = TenetAnalyzer(op, collapsing, arch).analyze()
+        cached = EvaluationEngine(op, arch, cache=RelationCache()).evaluate(collapsing)
+        assert report_dict(uncached) == report_dict(cached)
+        assert any("not injective" in note for note in cached.notes)
+
+    def test_grouped_kernel_falls_back_on_wide_temporal_interval(self):
+        # temporal intervals beyond the adjacency window use the reference
+        # kernel; reports still match the analyzer with the same interval.
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        candidate = small_candidates(op)[0]
+        uncached = TenetAnalyzer(op, candidate, arch, temporal_interval=9).analyze()
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), temporal_interval=9)
+        assert report_dict(uncached) == report_dict(engine.evaluate(candidate))
+        assert engine.stats["reference_path"] > 0
+
+    def test_memo_hit_returns_identical_report(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache())
+        candidate = small_candidates(op)[0]
+        first = engine.evaluate(candidate)
+        renamed = Dataflow(
+            "other-name", candidate.space_map, candidate.time_map
+        )
+        second = engine.evaluate(renamed)
+        assert second is first
+        assert engine.stats["memo_hits"] == 1
+
+    def test_out_of_range_candidate_raises_dataflow_error(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        bad = Dataflow.from_exprs("bad", op.domain.space, ["i", "j"], ["k"])
+        engine = EvaluationEngine(op, arch, cache=RelationCache())
+        with pytest.raises(DataflowError):
+            engine.evaluate(bad)
+
+    def test_instance_cap_raises_model_error(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, max_instances=10)
+        with pytest.raises(ModelError):
+            engine.evaluate(small_candidates(op)[0])
+
+
+class TestBatchEvaluation:
+    def test_batch_preserves_candidate_order(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        candidates = small_candidates(op, count=5)
+        batch = EvaluationEngine(op, arch, cache=RelationCache()).evaluate_batch(candidates)
+        assert [outcome.name for outcome in batch.outcomes] == [c.name for c in candidates]
+
+    def test_batch_records_mismatched_dims_as_failure(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        wrong_space = Dataflow.from_exprs(
+            "2d-candidate", conv2d(4, 4, 4, 4, 3, 3).domain.space,
+            ["k mod 4", "c mod 4"], ["oy", "ox", "ry", "rx"],
+        )
+        good = small_candidates(op, count=1)[0]
+        batch = EvaluationEngine(op, arch, cache=RelationCache()).evaluate_batch(
+            [wrong_space, good]
+        )
+        assert len(batch.reports) == 1
+        assert batch.failures and batch.failures[0][1].startswith("SpaceError")
+
+    def test_batch_records_failures(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        bad = Dataflow.from_exprs("bad", op.domain.space, ["i", "j"], ["k"])
+        good = Dataflow.from_exprs("good", op.domain.space, ["i mod 4", "j mod 4"],
+                                   ["fl(i/4)", "fl(j/4)", "k"])
+        batch = EvaluationEngine(op, arch, cache=RelationCache()).evaluate_batch([bad, good])
+        assert len(batch.failures) == 1
+        assert batch.failures[0][0] == "bad"
+        assert len(batch.reports) == 1
+
+    def test_unknown_objective_rejected(self):
+        op = gemm(8, 8, 8)
+        engine = EvaluationEngine(op, make_arch(pe_dims=(4, 4)))
+        with pytest.raises(ExplorationError):
+            engine.evaluate_batch(small_candidates(op, count=2), objective="beauty")
+
+    def test_parallel_matches_serial(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        candidates = small_candidates(op, count=4)
+        serial = EvaluationEngine(op, arch, cache=RelationCache()).evaluate_batch(candidates)
+        parallel = EvaluationEngine(op, arch, jobs=2, cache=RelationCache()).evaluate_batch(
+            candidates
+        )
+        assert len(parallel.reports) == len(serial.reports)
+        for a, b in zip(serial.reports, parallel.reports):
+            assert report_dict(a) == report_dict(b)
+
+    def test_early_termination_keeps_best_candidate(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        candidates = small_candidates(op, count=12)
+        cache = RelationCache()
+        full = EvaluationEngine(op, arch, cache=cache, memoize=False).evaluate_batch(
+            candidates, objective="latency"
+        )
+        pruned = EvaluationEngine(op, arch, cache=cache, memoize=False).evaluate_batch(
+            candidates, objective="latency", early_termination=True
+        )
+        best_full = min(full.reports, key=lambda r: (r.latency_cycles, r.dataflow))
+        best_pruned = min(pruned.reports, key=lambda r: (r.latency_cycles, r.dataflow))
+        assert report_dict(best_full) == report_dict(best_pruned)
+        # Every pruned candidate's bound proves it cannot beat the best score.
+        best_score = best_full.latency_cycles
+        for _, bound in pruned.pruned:
+            assert bound > best_score
+        # Pruned + evaluated covers the whole batch.
+        assert len(pruned.reports) + len(pruned.pruned) == len(candidates)

@@ -50,6 +50,16 @@ class TestPruning:
         assert len(candidates) == 20
         assert len({c.name for c in candidates}) > 1
 
+    def test_candidates_are_structurally_deduplicated(self):
+        from repro.core.engine import dataflow_signature
+
+        op = conv2d(8, 8, 5, 5, 3, 3)
+        signatures = [
+            dataflow_signature(c)
+            for c in pruned_candidates(op, allow_packing=True)
+        ]
+        assert len(signatures) == len(set(signatures))
+
     def test_candidates_cover_skewed_and_plain(self):
         op = gemm(16, 16, 16)
         names = [c.name for c in pruned_candidates(op, max_candidates=30)]
@@ -104,3 +114,40 @@ class TestExplorer:
         arch = make_arch(pe_dims=(8, 8))
         result = DesignSpaceExplorer(op, arch).explore(pruned_candidates(op, max_candidates=3))
         assert "objective = latency" in result.summary()
+
+    def test_equal_scores_tie_break_by_name(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8))
+        result = DesignSpaceExplorer(op, arch).explore(pruned_candidates(op, max_candidates=12))
+        ranking = [(r.latency_cycles, r.dataflow) for r in result.evaluated]
+        assert ranking == sorted(ranking)
+
+    def test_duplicate_candidates_are_skipped(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8))
+        candidates = list(pruned_candidates(op, max_candidates=3))
+        result = DesignSpaceExplorer(op, arch).explore(candidates + candidates)
+        assert result.duplicates == 3
+        assert len(result.evaluated) == 3
+        assert result.num_candidates == 6
+
+    def test_real_bugs_are_not_swallowed(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8))
+
+        def broken_objective(report):
+            raise TypeError("boom")
+
+        explorer = DesignSpaceExplorer(op, arch, objective=broken_objective)
+        with pytest.raises(TypeError):
+            explorer.explore(pruned_candidates(op, max_candidates=2))
+
+    def test_early_termination_keeps_best(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(8, 8))
+        candidates = list(pruned_candidates(op, max_candidates=10))
+        full = DesignSpaceExplorer(op, arch).explore(candidates)
+        pruned = DesignSpaceExplorer(op, arch).explore(candidates, early_termination=True)
+        assert pruned.best.dataflow == full.best.dataflow
+        assert pruned.best.latency_cycles == full.best.latency_cycles
+        assert len(pruned.evaluated) + len(pruned.pruned) == len(full.evaluated)

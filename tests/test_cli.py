@@ -33,6 +33,17 @@ class TestParser:
         output = capsys.readouterr().out
         assert "latency" in output and "PE utilization" in output
 
+    def test_explore_command(self, capsys):
+        code = main([
+            "explore", "--kernel", "gemm", "--sizes", "12", "12", "12",
+            "--max-candidates", "6", "--objective", "latency", "--top", "3",
+            "--early-termination",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "objective = latency" in output
+        assert "engine:" in output
+
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 0
         assert "tenet" in capsys.readouterr().out
