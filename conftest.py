@@ -1,0 +1,57 @@
+"""Root pytest configuration: benchmark trajectory output.
+
+``--bench-json PATH`` makes the session write every record collected through
+the :func:`bench_record` fixture (timings, speedups, engine stats from the
+benchmarks) to ``PATH`` as JSON.  CI uploads the file as an artifact so perf
+regressions are visible across PRs; locally::
+
+    PYTHONPATH=src python -m pytest -m slow benchmarks --bench-json BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+BENCH_RECORDS_KEY = pytest.StashKey()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write benchmark timing records to PATH as JSON",
+    )
+
+
+def pytest_configure(config):
+    config.stash[BENCH_RECORDS_KEY] = []
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record one named benchmark measurement for the --bench-json trajectory."""
+    records = request.config.stash[BENCH_RECORDS_KEY]
+
+    def _record(name: str, **fields):
+        entry = {"benchmark": name, **fields}
+        records.append(entry)
+        return entry
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    payload = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "records": session.config.stash.get(BENCH_RECORDS_KEY, []),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 
 from repro._version import __version__
 from repro.core.analyzer import analyze
+from repro.core.backends import BACKEND_NAMES
 from repro.core.engine import OBJECTIVES
 from repro.dataflows.catalog import all_entries, get_dataflow
 from repro.dse.explorer import DesignSpaceExplorer
@@ -94,6 +95,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         objective=args.objective,
         max_instances=args.max_instances,
         jobs=args.jobs,
+        backend=args.backend,
     )
     candidates = pruned_candidates(
         op,
@@ -104,10 +106,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     result = explorer.explore(candidates, early_termination=args.early_termination)
     print(result.summary(count=args.top))
     stats = explorer.engine.stats
+    cache_stats = explorer.engine.cache_stats()
     print(
         f"engine: {stats['evaluated']} evaluated, {stats['memo_hits']} memo hits, "
         f"{stats['pruned']} pruned, {stats['failures']} invalid "
-        f"(jobs={args.jobs}, relation cache {explorer.engine.cache.stats()})"
+        f"(backend={args.backend}, jobs={args.jobs})"
+    )
+    print(
+        f"relation cache: {cache_stats['hits']} hits, {cache_stats['misses']} misses"
+        + (
+            f"; workers: {cache_stats['worker_hits']} hits, "
+            f"{cache_stats['worker_misses']} misses"
+            if args.jobs > 1
+            else ""
+        )
     )
     return 0
 
@@ -162,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--bandwidth", type=float, default=128.0)
     explore.add_argument("--objective", default="latency", choices=sorted(OBJECTIVES),
                          help="ranking objective")
+    explore.add_argument("--backend", default="auto", choices=list(BACKEND_NAMES),
+                         help="evaluation backend: auto picks compiled kernels by op "
+                              "size, interp is the interpreted baseline, affine forces "
+                              "compiled coefficient-matrix stamps, bitset forces the "
+                              "packed-word membership kernel")
     explore.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep (1 = serial)")
     explore.add_argument("--top", type=int, default=5, help="how many best dataflows to print")
@@ -172,8 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the packed (Eyeriss-style) candidate family")
     explore.add_argument("--early-termination", action="store_true",
                          help="skip metric computation for provably worse candidates "
-                              "(latency/edp objectives; only the best rank is "
-                              "guaranteed, lower ranks may be pruned)")
+                              "(latency/edp bound from the compute delay, sbw/"
+                              "unique_volume from tensor footprints; only the best "
+                              "rank is guaranteed, lower ranks may be pruned)")
     explore.set_defaults(handler=_cmd_explore)
 
     experiment = subparsers.add_parser("experiment", help="run evaluation experiments")

@@ -23,6 +23,7 @@ from repro.core.bandwidth import BandwidthReport
 from repro.core.energy_model import EnergyBreakdown
 from repro.core.metrics import PerformanceReport
 from repro.core.analyzer import TenetAnalyzer, analyze
+from repro.core.backends import BACKEND_NAMES
 from repro.core.engine import (
     BatchResult,
     CandidateOutcome,
@@ -46,6 +47,7 @@ __all__ = [
     "PerformanceReport",
     "TenetAnalyzer",
     "analyze",
+    "BACKEND_NAMES",
     "EvaluationEngine",
     "RelationCache",
     "RelationMaterializer",

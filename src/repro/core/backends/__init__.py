@@ -1,0 +1,67 @@
+"""Pluggable evaluation backends for :class:`repro.core.engine.EvaluationEngine`.
+
+Four backends share the engine's ``evaluate_batch`` contract and produce
+bit-identical reports; they differ only in how the per-candidate hot path is
+computed:
+
+``interp``
+    The PR 1 path: interpreted expression trees per candidate, group-major
+    sort/adjacency volume kernel.  Baseline for the benchmarks.
+``affine``
+    Compiled stamps — quasi-affine expressions become integer coefficient
+    matrices evaluated with one matmul per candidate window over the cached
+    domain chunk (``mod``/``floordiv`` lower to derived columns, anything
+    non-affine falls back to the interpreter) — plus the compiled group-layout
+    volume kernel, which caches the candidate-invariant (PE, element) group
+    structure per space signature.
+``bitset``
+    Compiled stamps plus the packed ``np.uint64`` occupancy kernel whenever it
+    is exact and fits memory; for tensors where it does not apply, behaves
+    like ``affine``.
+``auto``
+    Compiled stamps; per tensor, the bit-set kernel when the packed occupancy
+    is smaller than the pair array (small ops), the compiled grouped kernel
+    otherwise.  This is the default.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.backends.base import EngineBackend, InterpBackend
+from repro.core.backends.affine import AffineBackend
+from repro.errors import ExplorationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import EvaluationEngine
+
+#: Valid values for the ``backend=`` engine/explorer/CLI option.
+BACKEND_NAMES = ("auto", "interp", "affine", "bitset")
+
+
+def make_backend(name: str, engine: "EvaluationEngine") -> EngineBackend:
+    """Instantiate the backend ``name`` for one engine."""
+    if name == "interp":
+        return InterpBackend(engine)
+    if name == "affine":
+        return AffineBackend(engine, bitset_mode="never")
+    if name == "bitset":
+        backend = AffineBackend(engine, bitset_mode="always")
+        backend.name = "bitset"
+        return backend
+    if name == "auto":
+        backend = AffineBackend(engine, bitset_mode="auto")
+        backend.name = "auto"
+        return backend
+    raise ExplorationError(
+        f"unknown backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
+    )
+
+
+__all__ = [
+    "AffineBackend",
+    "BACKEND_NAMES",
+    "EngineBackend",
+    "InterpBackend",
+    "make_backend",
+]

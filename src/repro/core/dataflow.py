@@ -116,6 +116,34 @@ class Dataflow:
     def time_exprs(self) -> tuple[AffExpr, ...]:
         return self.time_map.out_exprs
 
+    @property
+    def is_affine(self) -> bool:
+        """True when every stamp expression is purely affine (no floor/mod/abs).
+
+        Purely affine dataflows compile to a single coefficient matrix; quasi
+        terms need derived columns or the interpreter (see
+        :mod:`repro.core.backends.affine`).
+        """
+        return all(e.is_affine for e in self.pe_exprs + self.time_exprs)
+
+    def stamp_rows(
+        self, dims: Sequence[str] | None = None
+    ) -> tuple[list[tuple[tuple[int, ...], int] | None], list[tuple[tuple[int, ...], int] | None]]:
+        """Affine coefficient rows of the stamp expressions over ``dims``.
+
+        Introspection/debugging view of the dataflow as an integer matrix:
+        ``(pe_rows, time_rows)`` where each entry is ``(coefficients,
+        constant)`` for a purely affine expression and ``None`` for one with
+        quasi terms.  The compiled backends lower expressions through
+        :meth:`AffExpr.linear_row` directly (handling quasi terms as derived
+        columns); this method mirrors that per-expression view for callers.
+        ``dims`` defaults to the iteration dimensions.
+        """
+        dims = tuple(dims) if dims is not None else self.iteration_dims
+        def row(expr: AffExpr):
+            return expr.linear_row(dims) if expr.is_affine else None
+        return [row(e) for e in self.pe_exprs], [row(e) for e in self.time_exprs]
+
     def bind(self, op: TensorOp) -> "Dataflow":
         """Return a copy whose maps are restricted to the operation's domain."""
         if self.iteration_dims != op.domain.space.dims:

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.arch.pe_array import PEArray
 from repro.arch.spec import ArchSpec
+from repro.core.backends import make_backend
 from repro.core.bandwidth import compute_bandwidth
 from repro.core.dataflow import Dataflow
 from repro.core.energy_model import compute_energy
@@ -61,11 +62,17 @@ def dataflow_signature(dataflow: Dataflow) -> str:
     """Structural identity of a dataflow: its space/time expressions, not its name.
 
     Two candidates with the same signature assign every loop instance the same
-    spacetime stamp and therefore produce identical performance reports.
+    spacetime stamp and therefore produce identical performance reports.  The
+    signature is cached on the dataflow (its maps are immutable in practice),
+    so sweeps do not re-render the expression strings per batch.
     """
-    pe_text = ",".join(str(e) for e in dataflow.pe_exprs)
-    time_text = ",".join(str(e) for e in dataflow.time_exprs)
-    return f"PE[{pe_text}]|T[{time_text}]"
+    signature = getattr(dataflow, "_signature_cache", None)
+    if signature is None:
+        pe_text = ",".join(str(e) for e in dataflow.pe_exprs)
+        time_text = ",".join(str(e) for e in dataflow.time_exprs)
+        signature = f"PE[{pe_text}]|T[{time_text}]"
+        dataflow._signature_cache = signature
+    return signature
 
 
 def arch_signature(arch: ArchSpec) -> str:
@@ -484,12 +491,20 @@ def _rank_keys(keys: np.ndarray) -> np.ndarray:
 
 
 def _utilization_dense(
-    pe_lin: np.ndarray, t_rank: np.ndarray, num_pes: int
+    pe_lin: np.ndarray,
+    t_rank: np.ndarray,
+    num_pes: int,
+    injective_shortcut: bool = False,
 ) -> UtilizationMetrics | None:
     """Sort-free :func:`compute_utilization` via a dense (time, PE) histogram.
 
     Valid because ``t_rank`` is dense (every rank in ``[0, max+1)`` occurs);
     returns ``None`` when the histogram would dwarf the instance count.
+
+    ``injective_shortcut`` (used by the compiled backends) collapses the
+    per-rank reductions when every stamp holds at most one instance: every
+    rank is occupied, the compute delay is the rank count, and the instances
+    per rank *are* the active PEs per rank.
     """
     num_instances = int(pe_lin.size)
     if num_instances == 0:
@@ -499,6 +514,16 @@ def _utilization_dense(
         return None
     counts = np.bincount(t_rank * num_pes + pe_lin, minlength=num_ranks * num_pes)
     counts = counts.reshape(num_ranks, num_pes)
+    if injective_shortcut and int(counts.max()) == 1:
+        active_per_stamp = counts.sum(axis=1)
+        return UtilizationMetrics(
+            num_instances=num_instances,
+            num_pes=num_pes,
+            num_time_stamps=num_ranks,
+            occupied_stamps=num_instances,
+            compute_delay_cycles=num_ranks,
+            max_active_pes=int(active_per_stamp.max()),
+        )
     occupied = counts > 0
     active_per_stamp = occupied.sum(axis=1)
     return UtilizationMetrics(
@@ -630,27 +655,66 @@ OBJECTIVES: dict[str, Objective] = {
 }
 
 
-def _latency_lower_bound(utilization: UtilizationMetrics, arch: ArchSpec) -> float:
+def _latency_lower_bound(
+    utilization: UtilizationMetrics, arch: ArchSpec, footprints: dict[str, int] | None
+) -> float:
     # Latency is the max of compute/read/write delays, so compute alone bounds it.
     return float(utilization.compute_delay_cycles)
 
 
-def _energy_lower_bound(utilization: UtilizationMetrics, arch: ArchSpec) -> float:
+def _energy_lower_bound(
+    utilization: UtilizationMetrics, arch: ArchSpec, footprints: dict[str, int] | None
+) -> float:
     # MAC energy is volume-independent and every other term is non-negative.
     return utilization.num_instances * arch.energy.mac_pj
 
 
-def _edp_lower_bound(utilization: UtilizationMetrics, arch: ArchSpec) -> float:
-    return _latency_lower_bound(utilization, arch) * _energy_lower_bound(utilization, arch)
+def _edp_lower_bound(
+    utilization: UtilizationMetrics, arch: ArchSpec, footprints: dict[str, int] | None
+) -> float:
+    return _latency_lower_bound(utilization, arch, footprints) * _energy_lower_bound(
+        utilization, arch, footprints
+    )
+
+
+def _unique_volume_lower_bound(
+    utilization: UtilizationMetrics, arch: ArchSpec, footprints: dict[str, int] | None
+) -> float:
+    # Every distinct element must cross the scratchpad boundary at least once,
+    # so the per-tensor footprint is a floor on its unique volume.
+    if not footprints:
+        return float("-inf")
+    return float(sum(footprints.values()))
+
+
+def _sbw_lower_bound(
+    utilization: UtilizationMetrics, arch: ArchSpec, footprints: dict[str, int] | None
+) -> float:
+    # SBW = sum(unique volume) * word_bits / max(compute delay, 1); the unique
+    # volume is bounded below by the footprint and the compute delay is already
+    # exact at this point, so this bound is candidate-dependent: highly parallel
+    # candidates (short delay) are pruned once a low-bandwidth one is known.
+    if not footprints:
+        return float("-inf")
+    delay = max(float(utilization.compute_delay_cycles), 1.0)
+    return sum(footprints.values()) * arch.memory.word_bits / delay
 
 
 #: Sound per-objective lower bounds computable before the volume metrics.
-#: ``energy``'s bound is the same for every candidate of an operation (it can
-#: never exceed the best score), and ``sbw``/``unique_volume`` have no partial
-#: bound, so early termination is only effective for these objectives.
-LOWER_BOUNDS: dict[str, Callable[[UtilizationMetrics, ArchSpec], float]] = {
+#: ``latency``/``edp`` bound from the compute delay alone; ``sbw`` and
+#: ``unique_volume`` bound from the per-tensor footprints (dataflow
+#: independent, cached with the relations) — ``sbw``'s bound divides by the
+#: candidate's own compute delay, so it actually discriminates candidates,
+#: while ``unique_volume``'s footprint floor only prunes degenerate cases.
+#: ``energy``'s bound would be the same for every candidate of an operation
+#: (it can never exceed the best score), so it has no entry.
+LOWER_BOUNDS: dict[
+    str, Callable[[UtilizationMetrics, ArchSpec, dict[str, int] | None], float]
+] = {
     "latency": _latency_lower_bound,
     "edp": _edp_lower_bound,
+    "sbw": _sbw_lower_bound,
+    "unique_volume": _unique_volume_lower_bound,
 }
 
 
@@ -726,6 +790,7 @@ class EvaluationEngine:
         jobs: int = 1,
         cache: RelationCache | None = None,
         memoize: bool = True,
+        backend: str = "auto",
     ):
         self.op = op
         self.arch = arch
@@ -743,6 +808,8 @@ class EvaluationEngine:
             arch.pe_array, arch.interconnect, temporal_interval=self.temporal_interval
         )
         self._predecessor_table = self._spacetime.predecessor_table()
+        self.backend_name = str(backend)
+        self.backend = make_backend(self.backend_name, self)
         self.stats: dict[str, int] = {
             "evaluated": 0,
             "memo_hits": 0,
@@ -753,7 +820,20 @@ class EvaluationEngine:
             # Candidates evaluated without cached relations (op above the
             # cache's max_instances guard): correct but not accelerated.
             "streaming_path": 0,
+            # Per-tensor kernel choices of the compiled backends.
+            "compiled_path": 0,
+            "bitset_path": 0,
+            # Stamp expressions the compiled backends handed back to the
+            # interpreter (nested floor/mod/abs terms).
+            "stamp_fallback_exprs": 0,
         }
+
+    def cache_stats(self) -> dict[str, int]:
+        """Relation-cache counters, including the aggregated worker caches."""
+        stats = dict(self.cache.stats())
+        stats["worker_hits"] = self.stats.get("worker_cache_hits", 0)
+        stats["worker_misses"] = self.stats.get("worker_cache_misses", 0)
+        return stats
 
     # -- single-candidate evaluation ---------------------------------------------
 
@@ -773,6 +853,7 @@ class EvaluationEngine:
         *,
         objective: str | None = None,
         best_score: float | None = None,
+        stamps: Callable[[], tuple[np.ndarray, np.ndarray]] | None = None,
     ) -> tuple[PerformanceReport | float, bool]:
         """Memoised evaluation; returns (report-or-lower-bound, memo hit)."""
         key = self._memo_key(dataflow)
@@ -781,7 +862,9 @@ class EvaluationEngine:
             if hit is not None:
                 self.stats["memo_hits"] += 1
                 return hit, True
-        result = self._evaluate(dataflow, objective=objective, best_score=best_score)
+        result = self._evaluate(
+            dataflow, objective=objective, best_score=best_score, stamps=stamps
+        )
         if isinstance(result, PerformanceReport):
             if self.memoize:
                 self._memo[key] = result
@@ -796,9 +879,15 @@ class EvaluationEngine:
         *,
         objective: str | None = None,
         best_score: float | None = None,
+        stamps: Callable[[], tuple[np.ndarray, np.ndarray]] | None = None,
     ) -> PerformanceReport | float:
         """Full metric pipeline; returns a lower bound instead of a report when
-        the candidate provably cannot beat ``best_score`` under ``objective``."""
+        the candidate provably cannot beat ``best_score`` under ``objective``.
+
+        ``stamps`` optionally supplies precomputed (PE, time-rank) columns —
+        the batched backends evaluate whole candidate windows at once and hand
+        each candidate's columns in through here.
+        """
         started = time.perf_counter()
         notes: list[str] = []
 
@@ -824,7 +913,10 @@ class EvaluationEngine:
         num_pes = self.arch.pe_array.size
 
         if relations is not None:
-            pe_lin, t_rank = self.materializer.stamps(relations, bound, self.arch.pe_array)
+            if stamps is not None:
+                pe_lin, t_rank = stamps()
+            else:
+                pe_lin, t_rank = self.backend.stamps(relations, bound, self.arch.pe_array)
             element_keys = None
         else:
             self.stats["streaming_path"] += 1
@@ -836,7 +928,7 @@ class EvaluationEngine:
 
         utilization = None
         if relations is not None:
-            utilization = _utilization_dense(pe_lin, t_rank, num_pes)
+            utilization = self.backend.utilization(pe_lin, t_rank, num_pes)
         if utilization is None:
             utilization = compute_utilization(pe_lin, t_rank, num_pes)
         if not utilization.is_injective:
@@ -848,25 +940,31 @@ class EvaluationEngine:
         if objective is not None and best_score is not None:
             bound_fn = LOWER_BOUNDS.get(objective)
             if bound_fn is not None:
-                lower = bound_fn(utilization, self.arch)
+                footprints = (
+                    {t: rel.footprint for t, rel in relations.tensors.items()}
+                    if relations is not None
+                    else None
+                )
+                lower = bound_fn(utilization, self.arch, footprints)
                 if lower > best_score:
                     return lower
 
+        backend_metrics: dict[str, VolumeMetrics | None] = {}
+        if relations is not None:
+            backend_metrics = self.backend.volume_metrics_many(
+                self.op.tensor_names,
+                bound,
+                pe_lin,
+                t_rank,
+                relations,
+                assume_unique=utilization.is_injective,
+                # Ranks are dense, so the occupied-stamp count *is* the span.
+                rank_span=utilization.num_time_stamps,
+            )
+
         volumes: dict[str, VolumeMetrics] = {}
         for tensor in self.op.tensor_names:
-            metrics = None
-            if relations is not None:
-                metrics = _grouped_volume_metrics(
-                    tensor,
-                    pe_lin,
-                    t_rank,
-                    relations.tensors[tensor],
-                    self._predecessor_table,
-                    num_pes,
-                    spatial_interval=self._spacetime.spatial_interval,
-                    temporal_interval=self.temporal_interval,
-                    assume_unique=utilization.is_injective,
-                )
+            metrics = backend_metrics.get(tensor)
             if metrics is not None:
                 self.stats["fast_path"] += 1
             else:
@@ -965,6 +1063,33 @@ class EvaluationEngine:
             )
         return BatchResult(outcomes=outcomes, seconds=time.perf_counter() - started)
 
+    def _prepare_batch_stamps(
+        self, candidates: Sequence[Dataflow]
+    ) -> tuple[object | None, dict[int, int]]:
+        """Hand the batch to the backend for whole-batch stamp evaluation.
+
+        Memoised candidates are excluded, so the backend only compiles and
+        evaluates stamps that will actually be consumed.  Returns the provider
+        (or ``None``) plus a map from batch index to provider slot.
+        """
+        try:
+            relations = self.materializer.relations(self.max_instances)
+        except ModelError:
+            relations = None  # per-candidate evaluation reports the error
+        if relations is None:
+            return None, {}
+        slots: dict[int, int] = {}
+        pending: list[Dataflow] = []
+        for index, dataflow in enumerate(candidates):
+            if self.memoize and self._memo_key(dataflow) in self._memo:
+                continue
+            slots[index] = len(pending)
+            pending.append(dataflow)
+        if not pending:
+            return None, {}
+        provider = self.backend.prepare_batch(relations, pending, self.arch.pe_array)
+        return provider, slots if provider is not None else {}
+
     def _evaluate_serial(
         self,
         candidates: Sequence[Dataflow],
@@ -975,14 +1100,22 @@ class EvaluationEngine:
         score_fn = OBJECTIVES.get(objective) if objective else None
         best_score: float | None = None
         outcomes: list[CandidateOutcome] = []
+        provider, provider_slots = self._prepare_batch_stamps(candidates)
         for index, dataflow in enumerate(candidates):
             signature = dataflow_signature(dataflow)
             outcome = CandidateOutcome(index=index, name=dataflow.name, signature=signature)
+            slot = provider_slots.get(index)
+            stamps = (
+                (lambda s=slot: provider.stamps_for(s))
+                if provider is not None and slot is not None
+                else None
+            )
             try:
                 result, outcome.memo_hit = self._evaluate_memo(
                     dataflow,
                     objective=objective if early_termination else None,
                     best_score=best_score if early_termination else None,
+                    stamps=stamps,
                 )
                 if isinstance(result, PerformanceReport):
                     outcome.report = result
@@ -1011,56 +1144,91 @@ class EvaluationEngine:
         early_termination: bool,
     ) -> list[CandidateOutcome]:
         jobs = min(jobs, len(candidates))
-        slices = [list(range(start, len(candidates), jobs)) for start in range(jobs)]
+        # The operation, architecture and engine parameters travel once per
+        # worker (pool initializer), not once per task: each worker builds one
+        # engine, materialises the relations a single time, and then receives
+        # only candidate lists.  Several tasks per worker keep the load
+        # balanced without re-shipping anything heavy.
+        chunk = max(1, -(-len(candidates) // (jobs * 4)))
+        tasks = [
+            list(range(start, min(start + chunk, len(candidates))))
+            for start in range(0, len(candidates), chunk)
+        ]
         payload_params = {
             "max_instances": self.max_instances,
             "chunk_size": self.chunk_size,
             "temporal_interval": self.temporal_interval,
             "validate": self.should_validate,
+            "backend": self.backend_name,
+            "memoize": self.memoize,
         }
         outcomes: list[CandidateOutcome | None] = [None] * len(candidates)
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_sweep_worker_init,
+            initargs=(self.op, self.arch, payload_params),
+        ) as pool:
             futures = [
                 pool.submit(
-                    _sweep_worker,
-                    self.op,
-                    self.arch,
+                    _sweep_worker_run,
                     [candidates[i] for i in indices],
                     indices,
-                    payload_params,
                     objective,
                     early_termination,
                 )
-                for indices in slices
-                if indices
+                for indices in tasks
             ]
             for future in futures:
-                worker_outcomes, worker_stats = future.result()
+                worker_outcomes, worker_stats, worker_cache = future.result()
                 for outcome in worker_outcomes:
                     outcomes[outcome.index] = outcome
                 for key, value in worker_stats.items():
                     self.stats[key] = self.stats.get(key, 0) + value
+                self.stats["worker_cache_hits"] = (
+                    self.stats.get("worker_cache_hits", 0) + worker_cache["hits"]
+                )
+                self.stats["worker_cache_misses"] = (
+                    self.stats.get("worker_cache_misses", 0) + worker_cache["misses"]
+                )
         return [outcome for outcome in outcomes if outcome is not None]
 
 
-def _sweep_worker(
-    op: TensorOp,
-    arch: ArchSpec,
+#: Per-process engine of the sweep workers, built once by the pool initializer
+#: so the operation and its materialised relations are shipped/built once per
+#: worker instead of once per task.
+_WORKER_ENGINE: "EvaluationEngine | None" = None
+_WORKER_SNAPSHOT: tuple[dict[str, int], dict[str, int]] | None = None
+
+
+def _sweep_worker_init(op: TensorOp, arch: ArchSpec, params: dict) -> None:
+    global _WORKER_ENGINE, _WORKER_SNAPSHOT
+    _WORKER_ENGINE = EvaluationEngine(op, arch, jobs=1, **params)
+    _WORKER_SNAPSHOT = (dict(_WORKER_ENGINE.stats), dict(_WORKER_ENGINE.cache.stats()))
+
+
+def _sweep_worker_run(
     candidates: list[Dataflow],
     indices: list[int],
-    params: dict,
     objective: str | None,
     early_termination: bool,
-) -> tuple[list[CandidateOutcome], dict[str, int]]:
-    """Process-pool worker: evaluate a slice of candidates with a local engine.
+) -> tuple[list[CandidateOutcome], dict[str, int], dict[str, int]]:
+    """Evaluate one task's candidates on the worker's persistent engine.
 
-    Returns the outcomes plus the worker engine's stats so the parent can
-    aggregate memo/fast-path counters across processes.
+    Returns the outcomes plus the engine's stat and relation-cache *deltas*
+    since the previous task, so the parent can aggregate counters across
+    workers without double counting.
     """
-    engine = EvaluationEngine(op, arch, jobs=1, **params)
+    global _WORKER_SNAPSHOT
+    engine = _WORKER_ENGINE
     outcomes = engine._evaluate_serial(
         candidates, objective=objective, early_termination=early_termination
     )
     for outcome, index in zip(outcomes, indices):
         outcome.index = index
-    return outcomes, engine.stats
+    previous_stats, previous_cache = _WORKER_SNAPSHOT
+    stats = {key: value - previous_stats.get(key, 0) for key, value in engine.stats.items()}
+    cache = {
+        key: value - previous_cache.get(key, 0) for key, value in engine.cache.stats().items()
+    }
+    _WORKER_SNAPSHOT = (dict(engine.stats), dict(engine.cache.stats()))
+    return outcomes, stats, cache

@@ -86,6 +86,7 @@ class DesignSpaceExplorer:
         chunk_size: int = 1 << 20,
         jobs: int = 1,
         cache: RelationCache | None = None,
+        backend: str = "auto",
     ):
         self.op = op
         self.arch = arch
@@ -111,6 +112,7 @@ class DesignSpaceExplorer:
             chunk_size=chunk_size,
             jobs=self.jobs,
             cache=cache,
+            backend=backend,
         )
 
     def explore(
@@ -131,8 +133,10 @@ class DesignSpaceExplorer:
         already exceeds the best score.  Only the *best* candidate is
         guaranteed unchanged: lower ranks may be pruned, so request a full
         sweep when the whole top-k matters.  It requires a named objective
-        with a registered lower bound (``latency``/``edp``) and is silently
-        a no-op otherwise (in particular for callable objectives).
+        with a registered lower bound (``latency``/``edp`` bound from the
+        compute delay; ``sbw``/``unique_volume`` from the cached per-tensor
+        footprints) and is silently a no-op otherwise (in particular for
+        callable objectives).
         """
         started = time.perf_counter()
         result = ExplorationResult(objective=self.objective_name)

@@ -127,7 +127,7 @@ def shared_relation_cache() -> RelationCache:
     return _SHARED_RELATION_CACHE
 
 
-def make_engine(op, arch, *, jobs: int = 1, **kwargs) -> EvaluationEngine:
+def make_engine(op, arch, *, jobs: int = 1, backend: str = "auto", **kwargs) -> EvaluationEngine:
     """Build an :class:`EvaluationEngine` wired to the shared relation cache."""
     kwargs.setdefault("cache", _SHARED_RELATION_CACHE)
-    return EvaluationEngine(op, arch, jobs=jobs, **kwargs)
+    return EvaluationEngine(op, arch, jobs=jobs, backend=backend, **kwargs)

@@ -27,6 +27,7 @@ def run(
     objective: str = "latency",
     jobs: int = 1,
     early_termination: bool = False,
+    backend: str = "auto",
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="dse-pruned-exploration",
@@ -35,7 +36,8 @@ def run(
     op = conv2d(*conv_sizes)
     arch = make_arch(pe_dims=(8, 8), interconnect="2d-systolic")
     explorer = DesignSpaceExplorer(
-        op, arch, objective=objective, jobs=jobs, cache=shared_relation_cache()
+        op, arch, objective=objective, jobs=jobs, cache=shared_relation_cache(),
+        backend=backend,
     )
     candidates = pruned_candidates(op, pe_dims=(8, 8), allow_packing=True,
                                    max_candidates=max_candidates)
@@ -54,13 +56,17 @@ def run(
     seconds_per_candidate = exploration.seconds / evaluated
     projected_hours = seconds_per_candidate * paper_pruned_count() / 3600.0
     stats = explorer.engine.stats
+    cache_stats = explorer.engine.cache_stats()
     result.headline = {
         "candidates_evaluated": exploration.num_candidates,
         "invalid_candidates": len(exploration.failures),
         "pruned_candidates": len(exploration.pruned),
         "exploration_seconds": round(exploration.seconds, 1),
         "jobs": jobs,
+        "backend": backend,
         "engine_fast_path_tensors": stats["fast_path"],
+        "relation_cache_hits": cache_stats["hits"] + cache_stats["worker_hits"],
+        "relation_cache_misses": cache_stats["misses"] + cache_stats["worker_misses"],
         "paper_pruned_space": paper_pruned_count(),
         "projected_hours_for_paper_space": round(projected_hours, 2),
         "paper_reported": "25 920 dataflows explored in under one hour",

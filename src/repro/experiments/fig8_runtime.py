@@ -30,6 +30,7 @@ def run(
     gemm_size: int = 32,
     conv_sizes: tuple[int, int, int, int, int, int] = (16, 16, 14, 14, 3, 3),
     repeats: int = 1,
+    backend: str = "auto",
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="fig8-modeling-runtime",
@@ -50,6 +51,7 @@ def run(
 
     tenet_times = []
     warm_times = []
+    compiled_times = []
     maestro_times = []
     for kernel_label, (op, (catalog_kernel, dataflow_name)) in kernels.items():
         for pe_dims in _PE_SIZES:
@@ -70,8 +72,9 @@ def run(
                 )
 
                 # Warm sweep path: relations cached, report memo disabled so the
-                # measurement covers the real per-candidate evaluation.
-                engine = make_engine(op, arch, memoize=False)
+                # measurement covers the real per-candidate evaluation; once on
+                # the interpreted backend, once on the compiled one.
+                engine = make_engine(op, arch, memoize=False, backend="interp")
                 engine.evaluate(dataflow)
                 best_warm = float("inf")
                 for _ in range(max(repeats, 2)):
@@ -83,6 +86,20 @@ def run(
                     kernel=kernel_label, model="TENET-cached",
                     pe_array=f"{pe_dims[0]}x{pe_dims[1]}",
                     interconnect=interconnect, seconds=best_warm,
+                )
+
+                compiled = make_engine(op, arch, memoize=False, backend=backend)
+                compiled.evaluate(dataflow)
+                best_compiled = float("inf")
+                for _ in range(max(repeats, 2)):
+                    started = time.perf_counter()
+                    compiled.evaluate(dataflow)
+                    best_compiled = min(best_compiled, time.perf_counter() - started)
+                compiled_times.append(best_compiled)
+                result.add_row(
+                    kernel=kernel_label, model=f"TENET-{backend}",
+                    pe_array=f"{pe_dims[0]}x{pe_dims[1]}",
+                    interconnect=interconnect, seconds=best_compiled,
                 )
 
             baseline_model = MaestroModel(num_pes=pe_dims[0] * pe_dims[1])
@@ -99,11 +116,15 @@ def run(
 
     avg_tenet = sum(tenet_times) / len(tenet_times)
     avg_warm = sum(warm_times) / len(warm_times)
+    avg_compiled = sum(compiled_times) / len(compiled_times)
     avg_maestro = sum(maestro_times) / len(maestro_times)
     result.headline = {
         "avg_tenet_seconds": round(avg_tenet, 4),
         "avg_tenet_cached_seconds": round(avg_warm, 4),
         "cached_speedup": round(avg_tenet / avg_warm, 2) if avg_warm else float("inf"),
+        "avg_tenet_compiled_seconds": round(avg_compiled, 4),
+        "compiled_backend": backend,
+        "compiled_speedup": round(avg_tenet / avg_compiled, 2) if avg_compiled else float("inf"),
         "avg_baseline_seconds": round(avg_maestro, 6),
         "slowdown_factor": round(avg_tenet / avg_maestro, 1) if avg_maestro else float("inf"),
         "paper_reported": "TENET ~1e-1 s, MAESTRO ~1e-2 s per dataflow",

@@ -21,7 +21,7 @@ moduli), which match Python's ``//`` and ``%``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -184,6 +184,24 @@ class AffExpr:
 
     def coefficient(self, name: str) -> int:
         return self.terms.get(name, 0)
+
+    def linear_row(self, dims: "Sequence[str]") -> tuple[tuple[int, ...], int]:
+        """Coefficients of the *affine part* over ``dims`` plus the constant.
+
+        This is the introspection hook used by the compiled stamp kernels: an
+        affine expression becomes one row of an integer coefficient matrix.
+        Quasi terms (floor/mod/abs) are not represented here — callers lower
+        them to derived columns or fall back to :meth:`evaluate_vec`.  Raises
+        :class:`SpaceError` when the affine part references a variable outside
+        ``dims``.
+        """
+        known = set(dims)
+        for name in self.terms:
+            if name not in known:
+                raise SpaceError(
+                    f"expression references {name!r} outside the dimensions {tuple(dims)}"
+                )
+        return tuple(self.terms.get(dim, 0) for dim in dims), self.const
 
     # -- arithmetic ------------------------------------------------------------
 

@@ -1,0 +1,357 @@
+"""Tests for the pluggable evaluation backends (repro.core.backends)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataflow
+from repro.core.analyzer import TenetAnalyzer
+from repro.core.backends import BACKEND_NAMES, make_backend
+from repro.core.backends.affine import (
+    CompiledExprSet,
+    CompiledEvaluator,
+    build_group_layout,
+    lower_expr,
+)
+from repro.core.engine import EvaluationEngine, RelationCache, RelationMaterializer
+from repro.dse.pruning import pruned_candidates
+from repro.errors import DataflowError, ExplorationError
+from repro.experiments.common import make_arch
+from repro.isl.expr import var
+from repro.tensor.kernels import conv2d, gemm
+
+
+def report_dict(report):
+    data = report.as_dict()
+    data.pop("analysis_seconds")
+    data["notes"] = list(report.notes)
+    return data
+
+
+def small_candidates(op, pe_dims=(4, 4), count=6):
+    return list(pruned_candidates(op, pe_dims=pe_dims, allow_packing=True,
+                                  max_candidates=count))
+
+
+def nested_quasi_dataflow(op, rows=4, cols=4):
+    """A dataflow whose last time stamp wraps a floordiv inside a mod."""
+    i, j, k = (var(dim) for dim in op.loop_dims)
+    folded = (i // rows + j) % 5
+    return Dataflow.from_exprs(
+        "nested", op.domain.space,
+        [i % rows, j % cols], [k, i // rows, j // cols, folded],
+    )
+
+
+class TestExprLowering:
+    def test_linear_row_of_affine_expr(self):
+        expr = 2 * var("i") - 3 * var("j") + 7
+        coeffs, const = expr.linear_row(("i", "j", "k"))
+        assert coeffs == (2, -3, 0)
+        assert const == 7
+
+    def test_linear_row_rejects_unknown_variable(self):
+        from repro.errors import SpaceError
+
+        with pytest.raises(SpaceError):
+            (2 * var("x")).linear_row(("i", "j"))
+
+    def test_lower_affine(self):
+        base, const, derived = lower_expr(
+            var("i") + 2 * var("k") - 1, ("i", "j", "k")
+        )
+        assert base == (1, 0, 2)
+        assert const == -1
+        assert derived == []
+
+    def test_lower_mod_and_floordiv_to_derived_columns(self):
+        lowered = lower_expr(var("i") % 4 + var("j") // 8, ("i", "j"))
+        assert lowered is not None
+        _, _, derived = lowered
+        kinds = sorted(column.kind for _, column in derived)
+        assert kinds == ["floordiv", "mod"]
+
+    def test_nested_quasi_does_not_lower(self):
+        nested = (var("i") // 4 + var("j")) % 5
+        assert lower_expr(nested, ("i", "j")) is None
+
+    def test_unknown_variable_does_not_lower(self):
+        assert lower_expr(var("x") + var("i"), ("i", "j")) is None
+
+    def test_dataflow_stamp_rows(self):
+        op = gemm(8, 8, 8)
+        dataflow = Dataflow.from_exprs(
+            "d", op.domain.space, ["i mod 4", "j mod 4"], ["k", "i"]
+        )
+        pe_rows, time_rows = dataflow.stamp_rows()
+        assert pe_rows == [None, None]  # mod terms are not plain affine rows
+        assert time_rows == [((0, 0, 1), 0), ((1, 0, 0), 0)]
+        assert not dataflow.is_affine
+        affine = Dataflow.from_exprs("a", op.domain.space, ["i", "j"], ["k"])
+        assert affine.is_affine
+
+    def test_compiled_rows_match_interpreter(self):
+        op = gemm(12, 12, 12)
+        materializer = RelationMaterializer(op, cache=RelationCache())
+        relations = materializer.relations(10**6)
+        exprs = [
+            var("i") + 2 * var("j") - var("k"),
+            var("i") % 4 + var("j") // 8 - 2,
+            (var("k") % 5) * 3 + var("i"),
+        ]
+        compiled = CompiledExprSet(op.loop_dims, relations.inclusive_bounds)
+        plans = [compiled.add(e) for e in exprs]
+        evaluator = CompiledEvaluator(compiled, relations.domain, relations.total)
+        values = evaluator.evaluate_rows([i for kind, i in plans if kind == "row"])
+        for expr, (kind, index) in zip(exprs, plans):
+            assert kind == "row"
+            np.testing.assert_array_equal(values[index], expr.evaluate_vec(relations.domain))
+
+    def test_identical_expressions_share_one_row(self):
+        op = gemm(8, 8, 8)
+        relations = RelationMaterializer(op, cache=RelationCache()).relations(10**6)
+        compiled = CompiledExprSet(op.loop_dims, relations.inclusive_bounds)
+        first = compiled.add(var("i") + var("k") // 4)
+        second = compiled.add(var("i") + var("k") // 4)
+        assert first == second
+        assert len(compiled.rows) == 1
+
+
+class TestBackendStamps:
+    @pytest.mark.parametrize("backend", ["affine", "bitset", "auto"])
+    def test_stamps_match_interpreter(self, backend):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+        relations = engine.materializer.relations(10**7)
+        for candidate in small_candidates(op) + [nested_quasi_dataflow(op)]:
+            bound = candidate.bind(op)
+            pe_ref, rank_ref = engine.materializer.stamps(relations, bound, arch.pe_array)
+            pe_new, rank_new = engine.backend.stamps(relations, bound, arch.pe_array)
+            np.testing.assert_array_equal(pe_ref, pe_new)
+            np.testing.assert_array_equal(rank_ref, rank_new)
+
+    def test_batched_stamps_match_per_candidate(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="affine")
+        relations = engine.materializer.relations(10**7)
+        candidates = small_candidates(op, count=8)
+        provider = engine.backend.prepare_batch(relations, candidates, arch.pe_array)
+        for position, candidate in enumerate(candidates):
+            pe_ref, rank_ref = engine.materializer.stamps(
+                relations, candidate.bind(op), arch.pe_array
+            )
+            pe_new, rank_new = provider.stamps_for(position)
+            np.testing.assert_array_equal(pe_ref, pe_new)
+            np.testing.assert_array_equal(rank_ref, rank_new)
+
+    def test_small_windows_still_match(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="affine")
+        relations = engine.materializer.relations(10**6)
+        candidates = small_candidates(op, count=6)
+        provider = engine.backend.prepare_batch(relations, candidates, arch.pe_array)
+        provider._rows_per_window = 1  # force window thrash
+        for position, candidate in enumerate(candidates):
+            pe_ref, rank_ref = engine.materializer.stamps(
+                relations, candidate.bind(op), arch.pe_array
+            )
+            pe_new, rank_new = provider.stamps_for(position)
+            np.testing.assert_array_equal(pe_ref, pe_new)
+            np.testing.assert_array_equal(rank_ref, rank_new)
+
+    def test_pe_memo_eviction_between_batches_replans(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="affine")
+        relations = engine.materializer.relations(10**6)
+        candidates = small_candidates(op, count=3)
+        warmup = engine.backend.prepare_batch(relations, candidates, arch.pe_array)
+        for position in range(len(candidates)):
+            warmup.stamps_for(position)
+        # The second provider records no PE plans (all signatures memoised);
+        # evicting the memo in between forces the replan path.
+        provider = engine.backend.prepare_batch(relations, candidates, arch.pe_array)
+        engine.backend._pe_memo.clear()
+        for position, candidate in enumerate(candidates):
+            pe_ref, rank_ref = engine.materializer.stamps(
+                relations, candidate.bind(op), arch.pe_array
+            )
+            pe_new, rank_new = provider.stamps_for(position)
+            np.testing.assert_array_equal(pe_ref, pe_new)
+            np.testing.assert_array_equal(rank_ref, rank_new)
+
+    def test_out_of_range_candidate_raises_for_each_candidate(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="affine")
+        relations = engine.materializer.relations(10**7)
+        bad = Dataflow.from_exprs("bad", op.domain.space, ["i", "j"], ["k"])
+        bad_twin = Dataflow.from_exprs("bad-twin", op.domain.space, ["i", "j"], ["k"])
+        provider = engine.backend.prepare_batch(relations, [bad, bad_twin], arch.pe_array)
+        with pytest.raises(DataflowError, match="bad"):
+            provider.stamps_for(0)
+        # The failure is memoised per space signature but re-raised per candidate.
+        with pytest.raises(DataflowError, match="bad-twin"):
+            provider.stamps_for(1)
+
+    def test_fallback_exprs_are_counted(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="affine")
+        engine.evaluate(nested_quasi_dataflow(op))
+        assert engine.stats["stamp_fallback_exprs"] > 0
+
+
+class TestBackendReports:
+    @pytest.mark.parametrize("make_op", [
+        lambda: gemm(16, 16, 16),
+        lambda: conv2d(6, 6, 5, 5, 3, 3),
+    ], ids=["gemm", "conv2d"])
+    @pytest.mark.parametrize("interconnect", ["2d-systolic", "mesh", "multicast"])
+    @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "auto"])
+    def test_backend_reports_equal_analyzer(self, make_op, interconnect, backend):
+        op = make_op()
+        arch = make_arch(pe_dims=(4, 4), interconnect=interconnect)
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+        for candidate in small_candidates(op):
+            reference = TenetAnalyzer(op, candidate, arch).analyze()
+            assert report_dict(reference) == report_dict(engine.evaluate(candidate))
+
+    @pytest.mark.parametrize("backend", ["affine", "bitset", "auto"])
+    def test_nested_quasi_reports_equal_analyzer(self, backend):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        candidate = nested_quasi_dataflow(op)
+        reference = TenetAnalyzer(op, candidate, arch).analyze()
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+        assert report_dict(reference) == report_dict(engine.evaluate(candidate))
+
+    @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "auto"])
+    def test_non_injective_reports_equal_analyzer(self, backend):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        collapsing = Dataflow.from_exprs(
+            "collapse", op.domain.space, ["i mod 4", "j mod 4"], ["k mod 4"]
+        )
+        reference = TenetAnalyzer(op, collapsing, arch).analyze()
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+        assert report_dict(reference) == report_dict(engine.evaluate(collapsing))
+
+    def test_bitset_handles_wide_temporal_interval(self):
+        # The sort-based kernels are limited to temporal intervals <= 8; the
+        # bit-set kernel shifts occupancy words by any interval.
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        candidate = small_candidates(op)[0]
+        reference = TenetAnalyzer(op, candidate, arch, temporal_interval=11).analyze()
+        engine = EvaluationEngine(
+            op, arch, cache=RelationCache(), backend="bitset", temporal_interval=11
+        )
+        assert report_dict(reference) == report_dict(engine.evaluate(candidate))
+        assert engine.stats["bitset_path"] > 0
+        assert engine.stats["reference_path"] == 0
+
+    def test_bitset_engages_on_small_op(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="bitset")
+        engine.evaluate(small_candidates(op)[0])
+        assert engine.stats["bitset_path"] > 0
+
+    def test_batch_matches_across_backends(self):
+        op = conv2d(4, 4, 6, 6, 3, 3)
+        arch = make_arch(pe_dims=(4, 4))
+        candidates = small_candidates(op, count=8)
+        batches = {}
+        for backend in BACKEND_NAMES:
+            engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+            batches[backend] = engine.evaluate_batch(candidates)
+        reference = batches["interp"].reports
+        assert reference
+        for backend in ("auto", "affine", "bitset"):
+            assert len(batches[backend].reports) == len(reference)
+            for a, b in zip(reference, batches[backend].reports):
+                assert report_dict(a) == report_dict(b)
+
+
+class TestLayout:
+    def _op_with_duplicate_reference(self):
+        """GEMM variant whose output is referenced twice (read then write)."""
+        from repro.tensor.access import AccessMode, TensorAccess
+        from repro.tensor.operation import TensorOp
+
+        base = gemm(8, 8, 8)
+        update = next(a for a in base.accesses if a.tensor == "Y")
+        accesses = [a for a in base.accesses if a.tensor != "Y"]
+        accesses.append(TensorAccess("Y", AccessMode.READ, update.relation))
+        accesses.append(TensorAccess("Y", AccessMode.WRITE, update.relation))
+        return TensorOp("gemm-dup", base.domain, accesses)
+
+    def test_identical_references_collapse(self):
+        op = self._op_with_duplicate_reference()
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache())
+        relations = engine.materializer.relations(10**6)
+        candidate = small_candidates(op)[0].bind(op)
+        pe_lin, _ = engine.materializer.stamps(relations, candidate, arch.pe_array)
+        assert relations.tensors["Y"].references == 2
+        layout = build_group_layout(
+            pe_lin, relations.tensors["Y"], engine._predecessor_table,
+            engine._spacetime.spatial_interval,
+        )
+        assert layout.references == 1
+        assert layout.dense_orig.size == pe_lin.size
+
+    def test_duplicate_reference_reports_equal_analyzer(self):
+        op = self._op_with_duplicate_reference()
+        arch = make_arch(pe_dims=(4, 4))
+        for backend in BACKEND_NAMES:
+            engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+            for candidate in small_candidates(op, count=3):
+                reference = TenetAnalyzer(op, candidate, arch).analyze()
+                assert report_dict(reference) == report_dict(engine.evaluate(candidate))
+
+    def test_distinct_references_are_kept(self):
+        from repro.tensor.kernels import jacobi2d
+
+        op = jacobi2d(10, 10)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache())
+        relations = engine.materializer.relations(10**6)
+        candidate = small_candidates(op, count=1)[0].bind(op)
+        pe_lin, _ = engine.materializer.stamps(relations, candidate, arch.pe_array)
+        tensor = next(t for t, rel in relations.tensors.items() if rel.references > 1)
+        layout = build_group_layout(
+            pe_lin, relations.tensors[tensor], engine._predecessor_table,
+            engine._spacetime.spatial_interval,
+        )
+        assert layout.references == relations.tensors[tensor].references
+
+    def test_layout_memo_is_shared_across_candidates(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="affine")
+        candidates = small_candidates(op, count=6)
+        engine.evaluate_batch(candidates)
+        distinct_pe_signatures = {
+            tuple(str(e) for e in c.pe_exprs) for c in candidates
+        }
+        # One layout per (space signature, tensor), not per candidate.
+        assert len(engine.backend._layout_memo) <= len(distinct_pe_signatures) * 3
+
+
+class TestRegistry:
+    def test_unknown_backend_rejected(self):
+        op = gemm(8, 8, 8)
+        with pytest.raises(ExplorationError):
+            EvaluationEngine(op, make_arch(pe_dims=(4, 4)), backend="gpu")
+
+    def test_backend_names_constructible(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        for name in BACKEND_NAMES:
+            engine = EvaluationEngine(op, arch, backend=name)
+            assert engine.backend.name == name
+            assert engine.backend_name == name

@@ -84,6 +84,40 @@ class TestMaterializer:
             RelationMaterializer(gemm(size, size, size), cache=cache).relations(10**6)
         assert len(cache) == 1
 
+    def test_cache_evicts_least_recently_used(self):
+        cache = RelationCache(max_entries=2)
+        ops = [gemm(size, size, size) for size in (4, 5, 6)]
+        for op in ops[:2]:
+            RelationMaterializer(op, cache=cache).relations(10**6)
+        # Touch the first entry so the second becomes the eviction victim.
+        RelationMaterializer(ops[0], cache=cache).relations(10**6)
+        RelationMaterializer(ops[2], cache=cache).relations(10**6)
+        assert len(cache) == 2
+        hits_before = cache.hits
+        RelationMaterializer(ops[0], cache=cache).relations(10**6)
+        assert cache.hits == hits_before + 1  # survivor
+        RelationMaterializer(ops[1], cache=cache).relations(10**6)  # evicted: rebuilt
+        assert cache.misses >= 4
+
+    def test_cache_byte_budget_eviction(self):
+        # A tiny byte budget keeps at most one entry regardless of max_entries.
+        cache = RelationCache(max_entries=8, max_bytes=1)
+        for size in (4, 6):
+            RelationMaterializer(gemm(size, size, size), cache=cache).relations(10**6)
+        assert len(cache) == 1
+
+    def test_cache_stats_counts_hits_and_misses(self):
+        cache = RelationCache()
+        materializer = RelationMaterializer(gemm(6, 6, 6), cache=cache)
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        materializer.relations(10**6)
+        materializer.relations(10**6)
+        materializer.relations(10**6)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
     def test_oversized_op_is_not_cached(self):
         op = gemm(16, 16, 16)
         cache = RelationCache(max_instances=100)
@@ -137,13 +171,17 @@ class TestEngineReports:
         assert any("not injective" in note for note in cached.notes)
 
     def test_grouped_kernel_falls_back_on_wide_temporal_interval(self):
-        # temporal intervals beyond the adjacency window use the reference
-        # kernel; reports still match the analyzer with the same interval.
+        # temporal intervals beyond the sort-adjacency window use the reference
+        # kernel on the interp backend; reports still match the analyzer with
+        # the same interval.  (The bitset backend handles wide intervals
+        # natively — see tests/core/test_backends.py.)
         op = gemm(8, 8, 8)
         arch = make_arch(pe_dims=(4, 4))
         candidate = small_candidates(op)[0]
         uncached = TenetAnalyzer(op, candidate, arch, temporal_interval=9).analyze()
-        engine = EvaluationEngine(op, arch, cache=RelationCache(), temporal_interval=9)
+        engine = EvaluationEngine(
+            op, arch, cache=RelationCache(), temporal_interval=9, backend="interp"
+        )
         assert report_dict(uncached) == report_dict(engine.evaluate(candidate))
         assert engine.stats["reference_path"] > 0
 
@@ -226,6 +264,120 @@ class TestBatchEvaluation:
         assert len(parallel.reports) == len(serial.reports)
         for a, b in zip(serial.reports, parallel.reports):
             assert report_dict(a) == report_dict(b)
+
+    @pytest.mark.parametrize("backend", ["interp", "auto"])
+    def test_parallel_matches_serial_per_backend(self, backend):
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        candidates = small_candidates(op, count=8)
+        serial = EvaluationEngine(
+            op, arch, cache=RelationCache(), backend=backend
+        ).evaluate_batch(candidates)
+        parallel = EvaluationEngine(
+            op, arch, jobs=2, cache=RelationCache(), backend=backend
+        ).evaluate_batch(candidates)
+        assert [o.name for o in parallel.outcomes] == [o.name for o in serial.outcomes]
+        assert len(parallel.reports) == len(serial.reports)
+        for a, b in zip(serial.reports, parallel.reports):
+            assert report_dict(a) == report_dict(b)
+
+    def test_parallel_mixes_failures_and_reports_like_serial(self):
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        bad = Dataflow.from_exprs("bad", op.domain.space, ["i", "j"], ["k"])
+        candidates = small_candidates(op, count=5)
+        candidates.insert(2, bad)
+        serial = EvaluationEngine(op, arch, cache=RelationCache()).evaluate_batch(candidates)
+        parallel = EvaluationEngine(op, arch, jobs=3, cache=RelationCache()).evaluate_batch(
+            candidates
+        )
+        assert serial.failures == parallel.failures
+        for a, b in zip(serial.reports, parallel.reports):
+            assert report_dict(a) == report_dict(b)
+
+    def test_parallel_workers_materialise_relations_once(self):
+        # The pool initializer builds one engine per worker; the relations are
+        # materialised once per worker and every later task hits its cache.
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, jobs=2, cache=RelationCache())
+        candidates = small_candidates(op, count=8)
+        batch = engine.evaluate_batch(candidates)
+        assert len(batch.reports) == len(candidates)
+        assert engine.stats["worker_cache_misses"] <= 2
+        assert engine.stats["worker_cache_hits"] >= len(candidates) - 2
+        cache_stats = engine.cache_stats()
+        assert cache_stats["worker_misses"] == engine.stats["worker_cache_misses"]
+        assert cache_stats["worker_hits"] == engine.stats["worker_cache_hits"]
+
+    def test_volume_lower_bounds_are_sound(self):
+        # The registered bounds never exceed the true objective score, so
+        # early termination can only skip provably-dominated candidates.
+        from repro.core.engine import LOWER_BOUNDS, OBJECTIVES
+
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache())
+        relations = engine.materializer.relations(10**6)
+        footprints = {t: rel.footprint for t, rel in relations.tensors.items()}
+        for candidate in small_candidates(op, count=8):
+            report = engine.evaluate(candidate)
+            for objective, bound_fn in LOWER_BOUNDS.items():
+                bound = bound_fn(report.utilization, arch, footprints)
+                assert bound <= OBJECTIVES[objective](report) + 1e-9, (
+                    f"{objective} bound {bound} exceeds the true score for "
+                    f"{candidate.name}"
+                )
+
+    def test_sbw_early_termination_prunes_and_preserves_best(self):
+        # Once a long-delay, low-bandwidth candidate is known, the footprint
+        # bound (divided by each candidate's compute delay) prunes the
+        # highly-parallel candidates without changing the best report.
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        from repro.isl.expr import var
+
+        i, j, k = (var(dim) for dim in op.loop_dims)
+        serial = Dataflow.from_exprs(
+            "serial", op.domain.space, [i % 4, j % 4], [i, j, k]
+        )
+        candidates = [serial] + small_candidates(op, count=10)
+        cache = RelationCache()
+        full = EvaluationEngine(op, arch, cache=cache, memoize=False).evaluate_batch(
+            candidates, objective="sbw"
+        )
+        pruned = EvaluationEngine(op, arch, cache=cache, memoize=False).evaluate_batch(
+            candidates, objective="sbw", early_termination=True
+        )
+        score = lambda report: (report.scratchpad_bandwidth_bits(), report.dataflow)
+        best_full = min(full.reports, key=score)
+        best_pruned = min(pruned.reports, key=score)
+        assert report_dict(best_full) == report_dict(best_pruned)
+        assert len(pruned.pruned) > 0
+        assert len(pruned.reports) + len(pruned.pruned) == len(candidates)
+        # Every pruned bound provably exceeds the best fully evaluated score.
+        best_score = best_full.scratchpad_bandwidth_bits()
+        for _, bound in pruned.pruned:
+            assert bound > best_score
+
+    def test_sbw_rank_preservation_through_explorer(self):
+        from repro.dse.explorer import DesignSpaceExplorer
+        from repro.isl.expr import var
+
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        i, j, k = (var(dim) for dim in op.loop_dims)
+        serial = Dataflow.from_exprs(
+            "serial", op.domain.space, [i % 4, j % 4], [i, j, k]
+        )
+        candidates = [serial] + small_candidates(op, count=10)
+        full = DesignSpaceExplorer(op, arch, objective="sbw").explore(candidates)
+        pruned = DesignSpaceExplorer(op, arch, objective="sbw").explore(
+            candidates, early_termination=True
+        )
+        assert pruned.best.dataflow == full.best.dataflow
+        assert report_dict(pruned.best) == report_dict(full.best)
+        assert len(pruned.pruned) > 0
 
     def test_early_termination_keeps_best_candidate(self):
         op = gemm(16, 16, 16)
