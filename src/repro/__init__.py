@@ -28,6 +28,10 @@ The public API is organised by subsystem:
     experiments.
 ``repro.dse``
     Dataflow design-space exploration.
+``repro.sweep``
+    The streaming sweep pipeline: composable candidate sources with
+    deterministic sharding, checkpoint/resume sinks, the shared sweep
+    session, and the warm-engine sweep server.
 ``repro.workloads``
     Layer tables for the real-world applications in the evaluation.
 ``repro.experiments``

@@ -7,6 +7,10 @@ Examples::
         --pe 8 8 --interconnect 2d-systolic --bandwidth 128
     tenet explore --kernel conv2d --sizes 16 16 7 7 3 3 --objective latency \
         --jobs 4 --top 5
+    tenet explore --kernel conv2d --sizes 16 16 7 7 3 3 --shard 0/2 \
+        --checkpoint shard0.jsonl
+    tenet sweep-merge shard0.jsonl shard1.jsonl --top 5
+    echo '{"kernel": "gemm", "sizes": [32, 32, 32]}' | tenet serve
     tenet experiment fig1 design-space table3
     tenet experiment --list
 """
@@ -39,6 +43,7 @@ from repro.experiments import (
     table3_notations,
 )
 from repro.experiments.common import make_arch
+from repro.sweep import load_ranking, parse_shard, render_ranking, serve_lines
 from repro.tensor.kernels import make_kernel
 
 EXPERIMENTS: dict[str, Callable[[], object]] = {
@@ -89,6 +94,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         interconnect=args.interconnect,
         bandwidth_bits=args.bandwidth,
     )
+    shard = parse_shard(args.shard) if args.shard else None
     explorer = DesignSpaceExplorer(
         op,
         arch,
@@ -96,6 +102,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         max_instances=args.max_instances,
         jobs=args.jobs,
         backend=args.backend,
+        batch_size=args.batch_size,
     )
     candidates = pruned_candidates(
         op,
@@ -103,7 +110,13 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         allow_packing=not args.no_packing,
         max_candidates=args.max_candidates,
     )
-    result = explorer.explore(candidates, early_termination=args.early_termination)
+    result = explorer.explore(
+        candidates,
+        early_termination=args.early_termination,
+        shard=shard,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     print(result.summary(count=args.top))
     stats = explorer.engine.stats
     cache_stats = explorer.engine.cache_stats()
@@ -121,6 +134,35 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.requests == "-":
+        lines = sys.stdin
+    else:
+        lines = open(args.requests, "r", encoding="utf-8")
+    try:
+        served = serve_lines(
+            lines,
+            jobs=args.jobs,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            max_workers=args.workers,
+        )
+    finally:
+        if lines is not sys.stdin:
+            lines.close()
+    print(f"served {served} sweep request(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    ranking = load_ranking(args.checkpoints)
+    if not ranking:
+        print("(no evaluated candidates in the given checkpoints)")
+        return 1
+    print(render_ranking(ranking, top=args.top))
     return 0
 
 
@@ -192,7 +234,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "(latency/edp bound from the compute delay, sbw/"
                               "unique_volume from tensor footprints; only the best "
                               "rank is guaranteed, lower ranks may be pruned)")
+    explore.add_argument("--shard", default=None, metavar="I/N",
+                         help="sweep only the deterministic I-th of N signature-hash "
+                              "partitions (run one shard per machine, no coordination)")
+    explore.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="record per-candidate results in a JSONL checkpoint "
+                              "(merge shards or resume with it; an existing "
+                              "checkpoint is refused unless --resume)")
+    explore.add_argument("--resume", action="store_true",
+                         help="skip candidates already recorded in --checkpoint")
+    explore.add_argument("--batch-size", type=int, default=64,
+                         help="candidates pulled from the generator per engine batch "
+                              "(multiplied by --jobs for parallel sweeps; also the "
+                              "most work an interrupted checkpoint can lose)")
     explore.set_defaults(handler=_cmd_explore)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="service queued sweep requests on warm engines (one JSON request "
+             "per line in, one JSON result per line out)",
+    )
+    serve.add_argument("--requests", default="-", metavar="PATH",
+                       help="file with one JSON sweep request per line ('-' = stdin)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per engine")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent sweep requests (thread pool size)")
+    serve.add_argument("--backend", default="auto", choices=list(BACKEND_NAMES))
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.set_defaults(handler=_cmd_serve)
+
+    merge = subparsers.add_parser(
+        "sweep-merge",
+        help="merge sweep checkpoint files (e.g. one per shard) into one ranking",
+    )
+    merge.add_argument("checkpoints", nargs="+", help="JSONL checkpoint files")
+    merge.add_argument("--top", type=int, default=None,
+                       help="print only the best N candidates")
+    merge.set_defaults(handler=_cmd_sweep_merge)
 
     experiment = subparsers.add_parser("experiment", help="run evaluation experiments")
     experiment.add_argument("names", nargs="*", help="experiment names (see --list)")

@@ -26,9 +26,11 @@ thin wrapper over the streaming materialiser and the shared metric pipeline.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -174,29 +176,36 @@ class RelationCache:
         #: Total byte budget across entries (at least one entry is kept).
         self.max_bytes = int(max_bytes)
         self._entries: OrderedDict[tuple[str, int], OpRelations] = OrderedDict()
+        # Engines of concurrent server threads share one cache; the lock keeps
+        # the LRU bookkeeping (move_to_end / eviction scans) coherent.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: tuple[str, int]) -> OpRelations | None:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-        else:
-            self.misses += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return entry
 
     def put(self, key: tuple[str, int], relations: OpRelations) -> None:
-        self._entries[key] = relations
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries or (
-            len(self._entries) > 1
-            and sum(entry.nbytes() for entry in self._entries.values()) > self.max_bytes
-        ):
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = relations
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries or (
+                len(self._entries) > 1
+                and sum(entry.nbytes() for entry in self._entries.values())
+                > self.max_bytes
+            ):
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -681,7 +690,10 @@ def _unique_volume_lower_bound(
     utilization: UtilizationMetrics, arch: ArchSpec, footprints: dict[str, int] | None
 ) -> float:
     # Every distinct element must cross the scratchpad boundary at least once,
-    # so the per-tensor footprint is a floor on its unique volume.
+    # so the per-tensor footprint is a floor on its unique volume.  When the
+    # interconnect has no links the engine passes the candidate's distinct
+    # (PE, element) group counts instead — a tighter, candidate-dependent
+    # floor (each group's first access cannot be reused from anywhere).
     if not footprints:
         return float("-inf")
     return float(sum(footprints.values()))
@@ -704,8 +716,10 @@ def _sbw_lower_bound(
 #: ``latency``/``edp`` bound from the compute delay alone; ``sbw`` and
 #: ``unique_volume`` bound from the per-tensor footprints (dataflow
 #: independent, cached with the relations) — ``sbw``'s bound divides by the
-#: candidate's own compute delay, so it actually discriminates candidates,
-#: while ``unique_volume``'s footprint floor only prunes degenerate cases.
+#: candidate's own compute delay, so it actually discriminates candidates.
+#: On link-free interconnects the engine upgrades both floors to the
+#: candidate's distinct-(PE, element) group counts, which discriminate
+#: candidates even at equal compute delay.
 #: ``energy``'s bound would be the same for every candidate of an operation
 #: (it can never exceed the best score), so it has no entry.
 LOWER_BOUNDS: dict[
@@ -808,6 +822,12 @@ class EvaluationEngine:
             arch.pe_array, arch.interconnect, temporal_interval=self.temporal_interval
         )
         self._predecessor_table = self._spacetime.predecessor_table()
+        #: Whether any PE can forward data to another.  Without links there is
+        #: no spatial reuse, which makes the distinct-(PE, element) group count
+        #: a sound (and candidate-dependent) unique-volume floor.
+        self._has_links = bool((self._predecessor_table >= 0).any())
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_jobs = 0
         self.backend_name = str(backend)
         self.backend = make_backend(self.backend_name, self)
         self.stats: dict[str, int] = {
@@ -827,6 +847,19 @@ class EvaluationEngine:
             # interpreter (nested floor/mod/abs terms).
             "stamp_fallback_exprs": 0,
         }
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (no-op when jobs == 1)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_jobs = 0
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def cache_stats(self) -> dict[str, int]:
         """Relation-cache counters, including the aggregated worker caches."""
@@ -940,12 +973,21 @@ class EvaluationEngine:
         if objective is not None and best_score is not None:
             bound_fn = LOWER_BOUNDS.get(objective)
             if bound_fn is not None:
-                footprints = (
-                    {t: rel.footprint for t, rel in relations.tensors.items()}
-                    if relations is not None
-                    else None
-                )
-                lower = bound_fn(utilization, self.arch, footprints)
+                floors = None
+                if relations is not None:
+                    if not self._has_links and objective in ("unique_volume", "sbw"):
+                        # Without interconnect links the only reuse is temporal
+                        # within one (PE, element) group, so every distinct
+                        # group costs at least one scratchpad transfer.  This
+                        # floor depends on the candidate's PE assignment, so it
+                        # discriminates where the constant per-op footprint
+                        # floor cannot.
+                        floors = self._group_count_floors(pe_lin, relations)
+                    else:
+                        floors = {
+                            t: rel.footprint for t, rel in relations.tensors.items()
+                        }
+                lower = bound_fn(utilization, self.arch, floors)
                 if lower > best_score:
                     return lower
 
@@ -1028,6 +1070,28 @@ class EvaluationEngine:
             notes=notes,
         )
 
+    def _group_count_floors(
+        self, pe_lin: np.ndarray, relations: OpRelations
+    ) -> dict[str, int]:
+        """Per-tensor distinct-(PE, element) group counts for one candidate.
+
+        A sound unique-volume floor when the interconnect has no links: each
+        group's first access cannot be reused temporally (same group only) or
+        spatially (no links), so it must cross the scratchpad boundary.  The
+        count needs only a sort over the combined keys — cheaper than the full
+        volume kernel whose adjacency and spatial probes it lets the sweep
+        skip.
+        """
+        floors: dict[str, int] = {}
+        for tensor, rel in relations.tensors.items():
+            if rel.references == 1:
+                pe_column = pe_lin
+            else:
+                pe_column = np.tile(pe_lin, rel.references)
+            keys = pe_column * rel.footprint + rel.dense_keys
+            floors[tensor] = int(np.unique(keys).size)
+        return floors
+
     # -- batched evaluation -------------------------------------------------------
 
     def evaluate_batch(
@@ -1037,6 +1101,7 @@ class EvaluationEngine:
         objective: str | None = None,
         early_termination: bool = False,
         jobs: int | None = None,
+        best_score: float | None = None,
     ) -> BatchResult:
         """Evaluate a batch of candidates and return per-candidate outcomes.
 
@@ -1044,6 +1109,9 @@ class EvaluationEngine:
         early termination: when a candidate's partial lower bound already
         exceeds the best fully evaluated score, the remaining metric
         computation is skipped and the candidate is reported as pruned.
+        ``best_score`` seeds that running best, so streaming callers (one
+        :class:`repro.sweep.SweepSession` batch after another) make exactly
+        the pruning decisions a single whole-space batch would have made.
         Candidate order is preserved in the returned outcomes.
         """
         candidates = list(dataflows)
@@ -1055,11 +1123,13 @@ class EvaluationEngine:
         jobs = self.jobs if jobs is None else max(1, int(jobs))
         if jobs > 1 and len(candidates) > 1:
             outcomes = self._evaluate_parallel(
-                candidates, jobs, objective=objective, early_termination=early_termination
+                candidates, jobs, objective=objective,
+                early_termination=early_termination, best_score=best_score,
             )
         else:
             outcomes = self._evaluate_serial(
-                candidates, objective=objective, early_termination=early_termination
+                candidates, objective=objective,
+                early_termination=early_termination, best_score=best_score,
             )
         return BatchResult(outcomes=outcomes, seconds=time.perf_counter() - started)
 
@@ -1096,9 +1166,9 @@ class EvaluationEngine:
         *,
         objective: str | None,
         early_termination: bool,
+        best_score: float | None = None,
     ) -> list[CandidateOutcome]:
         score_fn = OBJECTIVES.get(objective) if objective else None
-        best_score: float | None = None
         outcomes: list[CandidateOutcome] = []
         provider, provider_slots = self._prepare_batch_stamps(candidates)
         for index, dataflow in enumerate(candidates):
@@ -1142,32 +1212,23 @@ class EvaluationEngine:
         *,
         objective: str | None,
         early_termination: bool,
+        best_score: float | None = None,
     ) -> list[CandidateOutcome]:
-        jobs = min(jobs, len(candidates))
         # The operation, architecture and engine parameters travel once per
         # worker (pool initializer), not once per task: each worker builds one
         # engine, materialises the relations a single time, and then receives
         # only candidate lists.  Several tasks per worker keep the load
-        # balanced without re-shipping anything heavy.
+        # balanced without re-shipping anything heavy.  The pool itself
+        # persists across batches (streaming sweeps call this repeatedly), so
+        # later batches reuse warm workers; ``close()`` tears it down.
         chunk = max(1, -(-len(candidates) // (jobs * 4)))
         tasks = [
             list(range(start, min(start + chunk, len(candidates))))
             for start in range(0, len(candidates), chunk)
         ]
-        payload_params = {
-            "max_instances": self.max_instances,
-            "chunk_size": self.chunk_size,
-            "temporal_interval": self.temporal_interval,
-            "validate": self.should_validate,
-            "backend": self.backend_name,
-            "memoize": self.memoize,
-        }
         outcomes: list[CandidateOutcome | None] = [None] * len(candidates)
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_sweep_worker_init,
-            initargs=(self.op, self.arch, payload_params),
-        ) as pool:
+        pool = self._ensure_pool(jobs)
+        try:
             futures = [
                 pool.submit(
                     _sweep_worker_run,
@@ -1175,22 +1236,53 @@ class EvaluationEngine:
                     indices,
                     objective,
                     early_termination,
+                    best_score,
                 )
                 for indices in tasks
             ]
-            for future in futures:
-                worker_outcomes, worker_stats, worker_cache = future.result()
-                for outcome in worker_outcomes:
-                    outcomes[outcome.index] = outcome
-                for key, value in worker_stats.items():
-                    self.stats[key] = self.stats.get(key, 0) + value
-                self.stats["worker_cache_hits"] = (
-                    self.stats.get("worker_cache_hits", 0) + worker_cache["hits"]
-                )
-                self.stats["worker_cache_misses"] = (
-                    self.stats.get("worker_cache_misses", 0) + worker_cache["misses"]
-                )
+            results = [future.result() for future in futures]
+        except BrokenProcessPool:
+            # A crashed worker kills this batch (as it always did), but must
+            # not poison the engine: drop the pool so the next batch rebuilds.
+            self.close()
+            raise
+        for worker_outcomes, worker_stats, worker_cache in results:
+            for outcome in worker_outcomes:
+                outcomes[outcome.index] = outcome
+            for key, value in worker_stats.items():
+                self.stats[key] = self.stats.get(key, 0) + value
+            self.stats["worker_cache_hits"] = (
+                self.stats.get("worker_cache_hits", 0) + worker_cache["hits"]
+            )
+            self.stats["worker_cache_misses"] = (
+                self.stats.get("worker_cache_misses", 0) + worker_cache["misses"]
+            )
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def _ensure_pool(self, jobs: int) -> ProcessPoolExecutor:
+        """The persistent worker pool, (re)built when the job count changes
+        or a worker crash broke the executor (a broken pool would otherwise
+        poison every later batch of a long-lived engine)."""
+        if self._pool is not None and (
+            self._pool_jobs != jobs or getattr(self._pool, "_broken", False)
+        ):
+            self.close()
+        if self._pool is None:
+            payload_params = {
+                "max_instances": self.max_instances,
+                "chunk_size": self.chunk_size,
+                "temporal_interval": self.temporal_interval,
+                "validate": self.should_validate,
+                "backend": self.backend_name,
+                "memoize": self.memoize,
+            }
+            self._pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_sweep_worker_init,
+                initargs=(self.op, self.arch, payload_params),
+            )
+            self._pool_jobs = jobs
+        return self._pool
 
 
 #: Per-process engine of the sweep workers, built once by the pool initializer
@@ -1211,6 +1303,7 @@ def _sweep_worker_run(
     indices: list[int],
     objective: str | None,
     early_termination: bool,
+    best_score: float | None = None,
 ) -> tuple[list[CandidateOutcome], dict[str, int], dict[str, int]]:
     """Evaluate one task's candidates on the worker's persistent engine.
 
@@ -1221,7 +1314,8 @@ def _sweep_worker_run(
     global _WORKER_SNAPSHOT
     engine = _WORKER_ENGINE
     outcomes = engine._evaluate_serial(
-        candidates, objective=objective, early_termination=early_termination
+        candidates, objective=objective, early_termination=early_termination,
+        best_score=best_score,
     )
     for outcome, index in zip(outcomes, indices):
         outcome.index = index

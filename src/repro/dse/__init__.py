@@ -8,8 +8,9 @@ Three pieces:
 * :mod:`repro.dse.pruning` — the pruned space of Section VI-B: enumerate the
   data movements the interconnect can support per tensor, then the possible
   boundary-PE data assignments.
-* :mod:`repro.dse.explorer` — evaluate a candidate list with the analyzer and
-  return the best dataflow under a chosen objective.
+* :mod:`repro.dse.explorer` — rank candidates under a chosen objective; the
+  sweep itself (streaming batches, sharding, checkpoint/resume) runs through
+  the shared :class:`repro.sweep.SweepSession`.
 """
 
 from repro.dse.space import (

@@ -1,29 +1,24 @@
 """Objective-driven exploration of candidate dataflows.
 
-The explorer is a thin consumer of :class:`repro.core.engine.EvaluationEngine`:
-it deduplicates structurally identical candidates, evaluates the batch (with
-the shared relation cache, optional process-pool parallelism and optional
-objective-aware early termination) and ranks the survivors.  Ranking is
-deterministic: ties on the objective are broken by dataflow name, so equal
-score candidates order stably across runs and across worker processes.
+The explorer is a thin facade over :class:`repro.sweep.SweepSession`: it owns
+an :class:`repro.core.engine.EvaluationEngine` for one (operation,
+architecture) pair and hands every sweep — deduplication, streaming batches,
+sharding, checkpoint/resume, ranking — to the shared session.  Ranking is
+deterministic: ties on the objective are broken by dataflow name (and, in the
+merged ranking, by structural signature), so equal-score candidates order
+stably across runs, shards and worker processes.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.arch.spec import ArchSpec
 from repro.core.dataflow import Dataflow
-from repro.core.engine import (
-    OBJECTIVES,
-    EvaluationEngine,
-    RelationCache,
-    dataflow_signature,
-)
+from repro.core.engine import OBJECTIVES, EvaluationEngine, RelationCache
 from repro.core.metrics import PerformanceReport
-from repro.errors import ExplorationError
+from repro.sweep import CandidateSource, SweepResult, SweepSession
+from repro.sweep.session import resolve_objective
 from repro.tensor.operation import TensorOp
 
 Objective = Callable[[PerformanceReport], float]
@@ -31,46 +26,8 @@ Objective = Callable[[PerformanceReport], float]
 #: Backwards-compatible alias; the canonical registry lives in the engine.
 _OBJECTIVES: dict[str, Objective] = OBJECTIVES
 
-
-@dataclass
-class ExplorationResult:
-    """Outcome of a design-space exploration run."""
-
-    objective: str
-    evaluated: list[PerformanceReport] = field(default_factory=list)
-    failures: list[tuple[str, str]] = field(default_factory=list)
-    #: Candidates skipped by early termination: (name, lower bound on score).
-    pruned: list[tuple[str, float]] = field(default_factory=list)
-    #: Structurally identical candidates skipped before evaluation.
-    duplicates: int = 0
-    seconds: float = 0.0
-
-    @property
-    def best(self) -> PerformanceReport:
-        if not self.evaluated:
-            raise ExplorationError("no candidate dataflow could be evaluated")
-        return self.evaluated[0]
-
-    @property
-    def num_candidates(self) -> int:
-        return len(self.evaluated) + len(self.failures) + len(self.pruned) + self.duplicates
-
-    def top(self, count: int = 5) -> list[PerformanceReport]:
-        return self.evaluated[:count]
-
-    def summary(self, count: int = 5) -> str:
-        lines = [
-            f"explored {self.num_candidates} candidates in {self.seconds:.1f}s "
-            f"({len(self.failures)} invalid, {len(self.pruned)} pruned, "
-            f"{self.duplicates} duplicate), objective = {self.objective}",
-        ]
-        for rank, report in enumerate(self.top(count), start=1):
-            lines.append(
-                f"  {rank}. {report.dataflow:30s} latency={report.latency_cycles:.0f} "
-                f"util={report.average_pe_utilization:.2f} "
-                f"sbw={report.scratchpad_bandwidth_bits():.1f} bit/cycle"
-            )
-        return "\n".join(lines)
+#: The exploration result *is* the sweep result; the old name stays exported.
+ExplorationResult = SweepResult
 
 
 class DesignSpaceExplorer:
@@ -87,24 +44,14 @@ class DesignSpaceExplorer:
         jobs: int = 1,
         cache: RelationCache | None = None,
         backend: str = "auto",
+        batch_size: int = 64,
     ):
         self.op = op
         self.arch = arch
-        if callable(objective):
-            self.objective_name = getattr(objective, "__name__", "custom")
-            self.objective = objective
-            self._objective_key = None
-        else:
-            if objective not in OBJECTIVES:
-                raise ExplorationError(
-                    f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
-                )
-            self.objective_name = objective
-            self.objective = OBJECTIVES[objective]
-            self._objective_key = objective
         self.max_instances = max_instances
         self.chunk_size = chunk_size
         self.jobs = max(1, int(jobs))
+        self.batch_size = int(batch_size)
         self.engine = EvaluationEngine(
             op,
             arch,
@@ -114,15 +61,38 @@ class DesignSpaceExplorer:
             cache=cache,
             backend=backend,
         )
+        # Unknown objective names raise here, not at sweep time.
+        self.objective_name, self.objective, _ = resolve_objective(objective)
+        self._objective = objective
+
+    def session(
+        self,
+        *,
+        early_termination: bool = False,
+        checkpoint: str | None = None,
+        resume: bool = False,
+    ) -> SweepSession:
+        """A sweep session on this explorer's warm engine."""
+        return SweepSession(
+            self.engine,
+            objective=self._objective,
+            batch_size=self.batch_size,
+            early_termination=early_termination,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
 
     def explore(
         self,
-        candidates: Iterable[Dataflow],
+        candidates: CandidateSource | Iterable[Dataflow],
         *,
         early_termination: bool = False,
         dedupe: bool = True,
+        shard: tuple[int, int] | None = None,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ) -> ExplorationResult:
-        """Analyse every candidate and return them sorted by the objective.
+        """Sweep every candidate and return them ranked by the objective.
 
         Only repro modelling errors (``ModelError``/``DataflowError``/
         ``SpaceError``) mark a candidate as invalid; genuine bugs — a
@@ -135,37 +105,15 @@ class DesignSpaceExplorer:
         sweep when the whole top-k matters.  It requires a named objective
         with a registered lower bound (``latency``/``edp`` bound from the
         compute delay; ``sbw``/``unique_volume`` from the cached per-tensor
-        footprints) and is silently a no-op otherwise (in particular for
+        footprints, upgraded to distinct-group counts on link-free
+        interconnects) and is silently a no-op otherwise (in particular for
         callable objectives).
+
+        ``shard=(i, n)`` sweeps only the deterministic ``i``-th of ``n``
+        signature-hash partitions; ``checkpoint``/``resume`` persist and
+        restore per-candidate results (see :mod:`repro.sweep`).
         """
-        started = time.perf_counter()
-        result = ExplorationResult(objective=self.objective_name)
-
-        batch_candidates: list[Dataflow] = []
-        if dedupe:
-            seen: set[str] = set()
-            for dataflow in candidates:
-                signature = dataflow_signature(dataflow)
-                if signature in seen:
-                    result.duplicates += 1
-                    continue
-                seen.add(signature)
-                batch_candidates.append(dataflow)
-        else:
-            batch_candidates = list(candidates)
-
-        batch = self.engine.evaluate_batch(
-            batch_candidates,
-            objective=self._objective_key if early_termination else None,
-            early_termination=early_termination,
+        session = self.session(
+            early_termination=early_termination, checkpoint=checkpoint, resume=resume
         )
-        for outcome in batch.outcomes:
-            if outcome.report is not None:
-                result.evaluated.append(outcome.report)
-            elif outcome.pruned:
-                result.pruned.append((outcome.name, outcome.bound))
-            elif outcome.error is not None:
-                result.failures.append((outcome.name, outcome.error))
-        result.evaluated.sort(key=lambda report: (self.objective(report), report.dataflow))
-        result.seconds = time.perf_counter() - started
-        return result
+        return session.run(candidates, shard=shard, dedupe=dedupe)

@@ -10,6 +10,7 @@ from repro.arch.memory import MemoryHierarchy
 from repro.arch.pe_array import PEArray
 from repro.arch.spec import ArchSpec
 from repro.core.engine import EvaluationEngine, RelationCache
+from repro.sweep import SweepSession
 from repro.workloads.dnn import Layer
 from repro.workloads.scaling import scale_layer
 
@@ -131,3 +132,19 @@ def make_engine(op, arch, *, jobs: int = 1, backend: str = "auto", **kwargs) -> 
     """Build an :class:`EvaluationEngine` wired to the shared relation cache."""
     kwargs.setdefault("cache", _SHARED_RELATION_CACHE)
     return EvaluationEngine(op, arch, jobs=jobs, backend=backend, **kwargs)
+
+
+def make_session(
+    op,
+    arch,
+    *,
+    objective="latency",
+    jobs: int = 1,
+    backend: str = "auto",
+    session_kwargs: Mapping | None = None,
+    **engine_kwargs,
+) -> SweepSession:
+    """A :class:`SweepSession` on a shared-cache engine — the experiment
+    drivers' one way to sweep candidates."""
+    engine = make_engine(op, arch, jobs=jobs, backend=backend, **engine_kwargs)
+    return SweepSession(engine, objective=objective, **dict(session_kwargs or {}))

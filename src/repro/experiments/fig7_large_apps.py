@@ -4,7 +4,8 @@ For every application (GoogLeNet, MobileNet, ALS, Transformer) each layer is
 analysed twice:
 
 * with the best TENET dataflow from a small relation-centric candidate set,
-  evaluated by the TENET analyzer, and
+  swept through :class:`repro.sweep.SweepSession` (one warm engine per
+  architecture, relations shared across architectures), and
 * with the best data-centric mapping, evaluated by the polynomial baseline
   model (MAESTRO's estimates in the paper's figure).
 
@@ -17,9 +18,16 @@ and Transformer (unsupported operators), which this driver mirrors.
 
 from __future__ import annotations
 
-from repro.core.analyzer import analyze
+from repro.core.metrics import PerformanceReport
 from repro.dataflows.catalog import get_entry
-from repro.experiments.common import ExperimentResult, average, make_arch, percent_reduction, scaled_layer_op
+from repro.experiments.common import (
+    ExperimentResult,
+    average,
+    make_arch,
+    make_session,
+    percent_reduction,
+    scaled_layer_op,
+)
 from repro.maestro.directives import DataCentricMapping, SpatialMap, TemporalMap
 from repro.maestro.model import MaestroModel
 from repro.workloads import als, googlenet, mobilenet, transformer
@@ -61,6 +69,38 @@ def _kernel_kind(layer) -> str:
     if isinstance(layer, MmcLayer):
         return "mmc"
     return "gemm"
+
+
+def _best_by_latency(
+    op, specs, *, bandwidth_bits: float, max_instances: int
+) -> PerformanceReport | None:
+    """Best-latency report across (kernel, name, arch kwargs) candidate specs.
+
+    Candidates sharing an architecture sweep together through one
+    :class:`repro.sweep.SweepSession` (one warm engine per architecture; the
+    operation's relations are shared across architectures by the common
+    cache).  Candidates that do not fit a layer raise modelling errors
+    (``ModelError``/``DataflowError``/``SpaceError``) which the sweep records
+    as failures; unlike the pre-sweep driver's blanket ``except Exception``,
+    any other exception is a real bug and propagates.
+    """
+    groups: dict[tuple, list] = {}
+    for kernel, name, arch_kwargs in specs:
+        key = tuple(sorted(arch_kwargs.items()))
+        groups.setdefault(key, []).append((kernel, name, arch_kwargs))
+    best: PerformanceReport | None = None
+    for group in groups.values():
+        arch = make_arch(bandwidth_bits=bandwidth_bits, **group[0][2])
+        dataflows = [get_entry(kernel, name).build() for kernel, name, _ in group]
+        session = make_session(
+            op, arch, objective="latency", max_instances=max_instances
+        )
+        result = session.run(dataflows)
+        if result.evaluated:
+            report = result.evaluated[0]
+            if best is None or report.latency_cycles < best.latency_cycles:
+                best = report
+    return best
 
 
 def _maestro_mapping(layer) -> DataCentricMapping | None:
@@ -105,19 +145,12 @@ def run(
             kind = _kernel_kind(scaled)
             # The relation-centric space is a superset of the data-centric space, so
             # the data-centric candidates are legitimate TENET candidates as well.
-            candidates = _TENET_CANDIDATES.get(kind, []) + _DATA_CENTRIC_CANDIDATES.get(kind, [])
-            best = None
+            specs = _TENET_CANDIDATES.get(kind, []) + _DATA_CENTRIC_CANDIDATES.get(kind, [])
             if isinstance(scaled, ConvLayer) and scaled.depthwise:
-                candidates = []
-            for kernel, name, arch_kwargs in candidates:
-                dataflow = get_entry(kernel, name).build()
-                arch = make_arch(bandwidth_bits=bandwidth_bits, **arch_kwargs)
-                try:
-                    report = analyze(op, dataflow, arch, max_instances=max_instances)
-                except Exception:  # noqa: BLE001 - some dataflows do not fit some layers
-                    continue
-                if best is None or report.latency_cycles < best.latency_cycles:
-                    best = report
+                specs = []
+            best = _best_by_latency(
+                op, specs, bandwidth_bits=bandwidth_bits, max_instances=max_instances
+            )
             if best is None:
                 # Fall back to a generic output-parallel dataflow on a 1-D array.
                 from repro.core.dataflow import Dataflow
@@ -131,7 +164,10 @@ def run(
                                                [pe_expr], time_exprs)
                 arch = make_arch(pe_dims=(lanes,), interconnect="multicast", reach=lanes - 1,
                                  bandwidth_bits=bandwidth_bits)
-                best = analyze(op, dataflow, arch, max_instances=max_instances)
+                session = make_session(
+                    op, arch, objective="latency", max_instances=max_instances
+                )
+                best = session.evaluate(dataflow)
 
             tenet_norm_latencies.append(best.normalized_latency)
             tenet_bandwidths.append(best.scratchpad_bandwidth_bits())
@@ -147,18 +183,14 @@ def run(
             )
 
             # The data-centric side: the best dataflow its notation can express,
-            # evaluated with the same precise analyzer (the paper's Figure 7 bars
+            # evaluated with the same precise engine (the paper's Figure 7 bars
             # compare the dataflows each notation can reach).
-            data_centric_best = None
-            for kernel, name, arch_kwargs in _DATA_CENTRIC_CANDIDATES.get(kind, []):
-                dataflow = get_entry(kernel, name).build()
-                arch = make_arch(bandwidth_bits=bandwidth_bits, **arch_kwargs)
-                try:
-                    report = analyze(op, dataflow, arch, max_instances=max_instances)
-                except Exception:  # noqa: BLE001
-                    continue
-                if data_centric_best is None or report.latency_cycles < data_centric_best.latency_cycles:
-                    data_centric_best = report
+            data_centric_best = _best_by_latency(
+                op,
+                _DATA_CENTRIC_CANDIDATES.get(kind, []),
+                bandwidth_bits=bandwidth_bits,
+                max_instances=max_instances,
+            )
 
             mapping = _maestro_mapping(scaled)
             if data_centric_best is not None:

@@ -17,7 +17,7 @@ import time
 
 from repro.core.analyzer import analyze
 from repro.dataflows.catalog import get_entry
-from repro.experiments.common import ExperimentResult, make_arch, make_engine
+from repro.experiments.common import ExperimentResult, make_arch, make_session
 from repro.maestro.directives import DataCentricMapping, SpatialMap, TemporalMap
 from repro.maestro.model import MaestroModel
 from repro.tensor.kernels import conv2d, gemm
@@ -71,15 +71,16 @@ def run(
                     interconnect=interconnect, seconds=best,
                 )
 
-                # Warm sweep path: relations cached, report memo disabled so the
-                # measurement covers the real per-candidate evaluation; once on
-                # the interpreted backend, once on the compiled one.
-                engine = make_engine(op, arch, memoize=False, backend="interp")
-                engine.evaluate(dataflow)
+                # Warm sweep path: a sweep session whose engine has the
+                # relations cached, report memo disabled so the measurement
+                # covers the real per-candidate evaluation; once on the
+                # interpreted backend, once on the compiled one.
+                session = make_session(op, arch, memoize=False, backend="interp")
+                session.evaluate(dataflow)
                 best_warm = float("inf")
                 for _ in range(max(repeats, 2)):
                     started = time.perf_counter()
-                    engine.evaluate(dataflow)
+                    session.evaluate(dataflow)
                     best_warm = min(best_warm, time.perf_counter() - started)
                 warm_times.append(best_warm)
                 result.add_row(
@@ -88,7 +89,7 @@ def run(
                     interconnect=interconnect, seconds=best_warm,
                 )
 
-                compiled = make_engine(op, arch, memoize=False, backend=backend)
+                compiled = make_session(op, arch, memoize=False, backend=backend)
                 compiled.evaluate(dataflow)
                 best_compiled = float("inf")
                 for _ in range(max(repeats, 2)):

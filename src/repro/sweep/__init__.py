@@ -1,0 +1,56 @@
+"""Streaming, shard-aware design-space sweeps.
+
+The package factors the sweep loop that used to be re-implemented by every
+caller (explorer, experiment drivers, CLI) into four shared pieces:
+
+* :mod:`repro.sweep.source` — :class:`CandidateSource`: composable, lazily
+  enumerated candidate streams with structural dedupe and a deterministic
+  ``shard(i, n)`` selector (stable signature hash, so N machines partition
+  one space with no coordination).
+* :mod:`repro.sweep.session` — :class:`SweepSession`: drives
+  :meth:`repro.core.engine.EvaluationEngine.evaluate_batch` in bounded
+  streaming batches with the running best score threaded through, and emits
+  every outcome to pluggable sinks.
+* :mod:`repro.sweep.sinks` — :class:`TopKSink` and
+  :class:`JsonlCheckpointSink` (durable checkpoints, resume, shard merge).
+* :mod:`repro.sweep.server` — :class:`SweepServer` and the ``tenet serve``
+  loop: one warm engine + relation cache per operation, queued requests
+  serviced concurrently.
+"""
+
+from repro.sweep.source import (
+    CandidateSource,
+    parse_shard,
+    signature_shard_index,
+    validate_shard,
+)
+from repro.sweep.sinks import (
+    JsonlCheckpointSink,
+    RankEntry,
+    ResultSink,
+    TopKSink,
+    load_ranking,
+    render_ranking,
+    report_record,
+)
+from repro.sweep.session import SweepResult, SweepSession
+from repro.sweep.server import SweepRequest, SweepServer, serve_lines
+
+__all__ = [
+    "CandidateSource",
+    "signature_shard_index",
+    "parse_shard",
+    "validate_shard",
+    "ResultSink",
+    "TopKSink",
+    "JsonlCheckpointSink",
+    "RankEntry",
+    "load_ranking",
+    "render_ranking",
+    "report_record",
+    "SweepSession",
+    "SweepResult",
+    "SweepRequest",
+    "SweepServer",
+    "serve_lines",
+]

@@ -1,0 +1,376 @@
+"""Warm-engine sweep serving.
+
+:class:`SweepServer` keeps one warm :class:`~repro.core.engine.EvaluationEngine`
+— materialised relations, compiled group layouts, report memo — per
+``(operation, architecture, backend)`` and services queued sweep requests
+concurrently: requests for *different* operations sweep in parallel on a
+thread pool (each engine may additionally fan out over its own ``jobs``
+process pool), while requests for the *same* warm engine serialise on a
+per-engine lock so they share its caches instead of racing them.
+
+``tenet serve`` wraps this in a line protocol: one JSON request per input
+line, one JSON result per output line, in request order::
+
+    {"kernel": "gemm", "sizes": [32, 32, 32], "objective": "latency"}
+    {"kernel": "gemm", "sizes": [32, 32, 32], "objective": "energy"}
+
+The second request reuses the first one's engine: the relations are cache
+hits and memoised reports are re-ranked without re-evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.arch.spec import ArchSpec
+from repro.core.dataflow import Dataflow
+from repro.core.engine import (
+    EvaluationEngine,
+    RelationCache,
+    arch_signature,
+    op_signature,
+)
+from repro.errors import ExplorationError
+from repro.sweep.session import SweepResult, SweepSession
+from repro.sweep.source import CandidateSource, validate_shard
+from repro.tensor.operation import TensorOp
+
+
+@dataclass
+class SweepRequest:
+    """One queued sweep over the pruned candidate space of a kernel."""
+
+    kernel: str
+    sizes: tuple[int, ...]
+    objective: str = "latency"
+    pe: tuple[int, int] = (8, 8)
+    interconnect: str = "2d-systolic"
+    bandwidth: float = 128.0
+    max_candidates: int | None = 64
+    allow_packing: bool = True
+    early_termination: bool = False
+    shard: tuple[int, int] | None = None
+    top: int = 5
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepRequest":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ExplorationError(
+                f"unknown sweep request fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        if "kernel" not in data or "sizes" not in data:
+            raise ExplorationError("sweep request needs at least 'kernel' and 'sizes'")
+        for field_name in ("sizes", "pe", "shard"):
+            value = data.get(field_name)
+            if value is not None and not isinstance(value, (list, tuple)):
+                # A string like "123" would silently iterate into (1, 2, 3)
+                # and sweep the wrong operation.
+                raise ExplorationError(
+                    f"sweep request field {field_name!r} must be a list of "
+                    f"integers, got {value!r}"
+                )
+        request = cls(**data)
+        request.sizes = tuple(int(s) for s in request.sizes)
+        request.pe = tuple(int(p) for p in request.pe)
+        if request.shard is not None:
+            request.shard = validate_shard(tuple(request.shard))
+        return request
+
+    def build(self) -> tuple[TensorOp, ArchSpec, CandidateSource]:
+        from repro.dse.pruning import pruned_candidates
+        from repro.experiments.common import make_arch
+        from repro.tensor.kernels import make_kernel
+
+        op = make_kernel(self.kernel, list(self.sizes))
+        arch = make_arch(
+            pe_dims=self.pe,
+            interconnect=self.interconnect,
+            bandwidth_bits=self.bandwidth,
+        )
+        source = CandidateSource(
+            lambda: pruned_candidates(
+                op,
+                pe_dims=self.pe,
+                allow_packing=self.allow_packing,
+                max_candidates=self.max_candidates,
+            ),
+            name=f"pruned[{self.kernel}]",
+        )
+        return op, arch, source
+
+
+@dataclass
+class _WarmEngine:
+    engine: EvaluationEngine
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Requests assigned to this engine, counted at submission time (decides
+    #: the deterministic ``engine_reused`` flag) and at execution time.
+    requests_queued: int = 0
+    requests_served: int = 0
+
+
+class SweepServer:
+    """Service sweep requests on warm, shared evaluation engines."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        backend: str = "auto",
+        batch_size: int = 64,
+        max_workers: int = 2,
+        max_instances: int = 4_000_000,
+        max_engines: int = 8,
+        cache: RelationCache | None = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.backend = backend
+        self.batch_size = int(batch_size)
+        self.max_instances = int(max_instances)
+        #: Warm engines kept resident; least-recently-used idle engines are
+        #: evicted past this, bounding a long-lived server's report memos.
+        self.max_engines = max(1, int(max_engines))
+        #: One relation cache for the whole server: engines of different
+        #: architectures over the same operation share its relations.
+        self.cache = cache if cache is not None else RelationCache(max_entries=8)
+        self._engines: "OrderedDict[tuple[str, str, str], _WarmEngine]" = OrderedDict()
+        self._registry_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=max(1, int(max_workers)),
+                                        thread_name_prefix="sweep")
+        self._closed = False
+
+    # -- engine registry ----------------------------------------------------------
+
+    def _reserve_engine(self, op: TensorOp, arch: ArchSpec) -> tuple[_WarmEngine, bool]:
+        """Look up (or create) the warm engine for ``(op, arch)`` and reserve
+        one request slot on it, atomically.
+
+        Returns ``(engine, was_warm)``.  Reservation (``requests_queued``)
+        happens under the same lock hold as the lookup, so an engine with a
+        request on the way can never be evicted in between.  The registry is
+        LRU-bounded at ``max_engines``: past the cap, the least recently used
+        *idle* engine is closed and dropped (an engine mid-sweep, or with
+        reserved requests, is never evicted).
+        """
+        key = (op_signature(op), arch_signature(arch), self.backend)
+        evicted: list[_WarmEngine] = []
+        with self._registry_lock:
+            warm = self._engines.get(key)
+            if warm is not None:
+                self._engines.move_to_end(key)
+            else:
+                warm = _WarmEngine(
+                    engine=EvaluationEngine(
+                        op,
+                        arch,
+                        jobs=self.jobs,
+                        backend=self.backend,
+                        cache=self.cache,
+                        max_instances=self.max_instances,
+                    )
+                )
+                self._engines[key] = warm
+                for old_key in list(self._engines):
+                    if len(self._engines) <= self.max_engines:
+                        break
+                    candidate = self._engines[old_key]
+                    idle = (
+                        candidate is not warm
+                        and candidate.requests_queued == candidate.requests_served
+                        and not candidate.lock.locked()
+                    )
+                    if idle:
+                        evicted.append(self._engines.pop(old_key))
+            reused = warm.requests_queued > 0
+            warm.requests_queued += 1
+        for old in evicted:
+            old.engine.close()
+        return warm, reused
+
+    @property
+    def num_engines(self) -> int:
+        return len(self._engines)
+
+    def stats(self) -> dict:
+        with self._registry_lock:
+            engines = list(self._engines.values())
+        return {
+            "engines": len(engines),
+            "requests_served": sum(w.requests_served for w in engines),
+            "relation_cache": self.cache.stats(),
+        }
+
+    # -- request servicing --------------------------------------------------------
+
+    def submit_sweep(
+        self,
+        op: TensorOp,
+        arch: ArchSpec,
+        candidates: CandidateSource | Iterable[Dataflow],
+        *,
+        objective: str = "latency",
+        early_termination: bool = False,
+        shard: tuple[int, int] | None = None,
+    ) -> "Future[SweepResult]":
+        """Queue a sweep of explicit candidates; returns a future result."""
+        if self._closed:
+            raise ExplorationError("sweep server is shut down")
+        warm, _ = self._reserve_engine(op, arch)
+        return self._pool.submit(
+            self._run_sweep, warm, candidates, objective, early_termination, shard
+        )
+
+    def submit(self, request: SweepRequest) -> "Future[tuple[SweepResult, bool]]":
+        """Queue a :class:`SweepRequest`; resolves to (result, engine_was_warm).
+
+        The ``engine_was_warm`` flag is decided here, in submission order, so
+        the N-th request for one (op, arch, backend) reports reuse regardless
+        of which worker thread its sweep lands on.
+        """
+        if self._closed:
+            raise ExplorationError("sweep server is shut down")
+        op, arch, source = request.build()
+        warm, reused = self._reserve_engine(op, arch)
+        return self._pool.submit(self._run_request, warm, request, source, reused)
+
+    def _run_sweep(self, warm, candidates, objective, early_termination, shard):
+        return self._serve(warm, candidates, objective, early_termination, shard)
+
+    def _run_request(
+        self, warm: "_WarmEngine", request: SweepRequest, source, reused: bool
+    ) -> tuple[SweepResult, bool]:
+        result = self._serve(
+            warm, source, request.objective, request.early_termination, request.shard
+        )
+        return result, reused
+
+    def _serve(self, warm, candidates, objective, early_termination, shard):
+        """One sweep on a reserved warm engine (serialised per engine)."""
+        with warm.lock:
+            warm.requests_served += 1
+            session = SweepSession(
+                warm.engine,
+                objective=objective,
+                batch_size=self.batch_size,
+                early_termination=early_termination,
+            )
+            return session.run(candidates, shard=shard)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+        with self._registry_lock:
+            engines = list(self._engines.values())
+        for warm in engines:
+            warm.engine.close()
+
+    def __enter__(self) -> "SweepServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def result_record(request: SweepRequest, result: SweepResult, reused: bool) -> dict:
+    """The JSON line ``tenet serve`` emits for one serviced request."""
+    return {
+        "kernel": request.kernel,
+        "objective": result.objective,
+        "candidates": result.num_candidates,
+        "evaluated": len(result.evaluated),
+        "invalid": len(result.failures),
+        "pruned": len(result.pruned),
+        "shard": list(result.shard) if result.shard else None,
+        "seconds": round(result.seconds, 4),
+        "candidates_per_second": round(result.throughput, 2),
+        "engine_reused": reused,
+        "top": [
+            {
+                "name": entry.name,
+                "score": entry.score,
+                "latency_cycles": entry.data["latency_cycles"],
+                "sbw_bits_per_cycle": entry.data["sbw_bits_per_cycle"],
+            }
+            for entry in result.ranking[: request.top]
+        ],
+    }
+
+
+def serve_lines(
+    lines: Iterable[str],
+    *,
+    jobs: int = 1,
+    backend: str = "auto",
+    batch_size: int = 64,
+    max_workers: int = 2,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """The ``tenet serve`` loop: JSON requests in, JSON results out, in order.
+
+    Requests are queued onto the server as they are read, so later requests
+    for other operations start sweeping while earlier ones run; results are
+    emitted in request order, streamed as soon as the head of the queue
+    finishes (a long-lived producer sees results without closing its end).
+    Returns the number of serviced requests.
+    """
+    served = 0
+    with SweepServer(
+        jobs=jobs, backend=backend, batch_size=batch_size, max_workers=max_workers
+    ) as server:
+        queued: deque[tuple[SweepRequest | None, Future]] = deque()
+        emit_lock = threading.Lock()
+
+        def drain_ready() -> None:
+            # Emit every finished result at the head of the queue.  Runs both
+            # on the reader thread and from future completion callbacks, so
+            # results stream even while the reader blocks on an idle stdin.
+            # A failed request still produces its one output line (an error
+            # record), preserving the 1:1 request/response protocol.
+            nonlocal served
+            with emit_lock:
+                while queued and queued[0][1].done():
+                    request, future = queued.popleft()
+                    try:
+                        result, reused = future.result()
+                        record = result_record(request, result, reused)
+                    except Exception as error:  # noqa: BLE001 - protocol line
+                        record = {
+                            "kernel": request.kernel if request else None,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    emit(json.dumps(record))
+                    served += 1
+
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = SweepRequest.from_dict(json.loads(line))
+                future = server.submit(request)
+            except Exception as error:  # noqa: BLE001 - malformed line
+                request = None
+                future = Future()
+                future.set_exception(error)
+            with emit_lock:
+                queued.append((request, future))
+            # Fires immediately when the future already completed, so no
+            # result can be stranded between append and callback.
+            future.add_done_callback(lambda _future: drain_ready())
+        while True:
+            with emit_lock:
+                head = queued[0][1] if queued else None
+            if head is None:
+                break
+            head.exception()  # block until done without re-raising here
+            drain_ready()
+    return served

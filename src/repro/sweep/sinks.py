@@ -1,0 +1,313 @@
+"""Pluggable result sinks for streaming sweeps.
+
+A :class:`ResultSink` receives every candidate outcome as soon as its batch
+finishes, so results are durable (or rankable) long before the sweep ends:
+
+* :class:`TopKSink` keeps the best ``k`` candidates in memory,
+* :class:`JsonlCheckpointSink` appends one JSON line per candidate and can
+  *resume*: re-opening the same file skips every signature it already holds,
+  and the merged ranking is bit-identical to an uninterrupted sweep.
+
+Checkpoint files are also the shard merge format: ``load_ranking`` merges any
+number of checkpoint files (e.g. one per ``--shard i/n`` machine) into the
+ranking a single unsharded sweep would have produced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.engine import CandidateOutcome
+from repro.core.metrics import PerformanceReport
+from repro.errors import ExplorationError
+
+CHECKPOINT_VERSION = 1
+
+
+def _json_default(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"checkpoint record field of type {type(value).__name__} is not JSON")
+
+
+def report_record(report: PerformanceReport) -> dict:
+    """The serialisable, wall-clock-free view of a report used for ranking.
+
+    ``analysis_seconds`` is stripped so checkpoints (and therefore shard
+    merges and resumes) are bit-identical across runs.
+    """
+    data = report.as_dict()
+    data.pop("analysis_seconds", None)
+    data["sbw_bits_per_cycle"] = report.scratchpad_bandwidth_bits()
+    return data
+
+
+@dataclass
+class RankEntry:
+    """One ranked candidate: live (``report`` set) or restored from a checkpoint."""
+
+    signature: str
+    name: str
+    score: float
+    data: dict
+    report: PerformanceReport | None = None
+
+    @property
+    def sort_key(self) -> tuple[float, str, str]:
+        # Name ties (distinct structures can share a display name) are broken
+        # by the structural signature so merged rankings are reproducible.
+        return (self.score, self.name, self.signature)
+
+
+class ResultSink:
+    """Receives streaming sweep outcomes; see :class:`repro.sweep.SweepSession`."""
+
+    def open(self, meta: dict) -> None:
+        """Called once before the first batch with the session's identity."""
+
+    def emit(self, outcome: CandidateOutcome, score: float | None) -> None:
+        """Called for every processed candidate, in stream order."""
+
+    def close(self) -> None:
+        """Called once after the last batch (also on errors)."""
+
+
+class TopKSink(ResultSink):
+    """Keep the best ``k`` fully evaluated candidates in memory."""
+
+    def __init__(self, k: int = 10):
+        self.k = int(k)
+        self.entries: list[RankEntry] = []
+
+    def emit(self, outcome: CandidateOutcome, score: float | None) -> None:
+        if outcome.report is None or score is None:
+            return
+        entry = RankEntry(
+            signature=outcome.signature,
+            name=outcome.name,
+            score=float(score),
+            data=report_record(outcome.report),
+            report=outcome.report,
+        )
+        self.entries.append(entry)
+        self.entries.sort(key=lambda e: e.sort_key)
+        del self.entries[self.k:]
+
+    def top(self) -> list[RankEntry]:
+        return list(self.entries)
+
+
+class JsonlCheckpointSink(ResultSink):
+    """Durable JSONL checkpoint with resume.
+
+    The file starts with one ``meta`` line (sweep identity) followed by one
+    ``result`` line per candidate, flushed as it is written, so a killed sweep
+    loses at most the in-flight batch.  With ``resume=True`` an existing file
+    is validated against the session's identity and every recorded signature
+    is skipped by the session; a mismatched identity is an error, not a silent
+    restart.
+    """
+
+    def __init__(self, path: str | Path, *, resume: bool = False):
+        self.path = Path(path)
+        self.resume = bool(resume)
+        #: signature -> checkpoint record of every candidate already processed.
+        self.completed: dict[str, dict] = {}
+        self._handle: IO[str] | None = None
+
+    def open(self, meta: dict) -> None:
+        if self.resume and self.path.exists() and self.path.stat().st_size > 0:
+            self.completed = self._load_completed(meta)
+            self._handle = self.path.open("a", encoding="utf-8")
+            # A kill mid-write can leave a torn, newline-less final line;
+            # terminate it so resumed records start on their own line instead
+            # of being concatenated onto (and corrupted by) the fragment.
+            torn = False
+            with self.path.open("rb") as raw:
+                raw.seek(0, 2)
+                if raw.tell() > 0:
+                    raw.seek(-1, 2)
+                    torn = raw.read(1) != b"\n"
+            if torn:
+                self._handle.write("\n")
+                self._handle.flush()
+        else:
+            if self.path.exists() and self.path.stat().st_size > 0:
+                # Never silently destroy a recorded sweep: an existing
+                # checkpoint is either resumed or explicitly removed.  An
+                # *empty* file is fresh either way and gets its header below.
+                raise ExplorationError(
+                    f"checkpoint {self.path} already exists; resume it "
+                    "(resume=True / --resume) or delete it first"
+                )
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._write({"kind": "meta", "version": CHECKPOINT_VERSION, **meta})
+
+    def _load_completed(self, meta: dict) -> dict[str, dict]:
+        completed: dict[str, dict] = {}
+        saw_meta = False
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a killed run: everything before
+                    # it is intact, so drop the fragment and resume.
+                    continue
+                if record.get("kind") == "meta":
+                    saw_meta = True
+                    # backend is deliberately not compared: reports are
+                    # bit-identical across backends, so resuming on another
+                    # backend is legitimate.  A shard or early-termination
+                    # mismatch is not.
+                    for key in ("op", "arch", "objective", "shard",
+                                "early_termination"):
+                        if key in meta and record.get(key) != meta[key]:
+                            raise ExplorationError(
+                                f"checkpoint {self.path} was written for a different "
+                                f"sweep ({key}={record.get(key)!r}, expected "
+                                f"{meta[key]!r}); refusing to resume"
+                            )
+                    continue
+                signature = record.get("signature")
+                if signature:
+                    completed[signature] = record
+        if not saw_meta:
+            # Without a header the sweep identity cannot be validated, and a
+            # signature alone does not identify the operation it was swept on.
+            raise ExplorationError(
+                f"checkpoint {self.path} has no meta header; it is not a sweep "
+                "checkpoint (or its header was lost) — refusing to resume"
+            )
+        return completed
+
+    def restored_entries(self) -> list[RankEntry]:
+        """Rank entries of the fully evaluated candidates already on disk."""
+        return [
+            RankEntry(
+                signature=record["signature"],
+                name=record["name"],
+                score=float(record["score"]),
+                data=record["report"],
+            )
+            for record in self.completed.values()
+            if record.get("status") == "ok"
+        ]
+
+    def emit(self, outcome: CandidateOutcome, score: float | None) -> None:
+        record: dict = {
+            "kind": "result",
+            "signature": outcome.signature,
+            "name": outcome.name,
+        }
+        if outcome.report is not None:
+            record["status"] = "ok"
+            record["score"] = float(score) if score is not None else None
+            record["report"] = report_record(outcome.report)
+        elif outcome.pruned:
+            record["status"] = "pruned"
+            record["bound"] = outcome.bound
+        else:
+            record["status"] = "error"
+            record["error"] = outcome.error
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        assert self._handle is not None, "sink used before open()"
+        self._handle.write(json.dumps(record, default=_json_default) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def load_ranking(paths: Sequence[str | Path] | str | Path) -> list[RankEntry]:
+    """Merge checkpoint files into one ranking, bit-identical to an unsharded run.
+
+    Accepts any number of checkpoint files (shard halves, resumed files); the
+    first record wins for a repeated signature.  Only fully evaluated
+    candidates rank — pruned and invalid candidates carry no score.  Files
+    whose meta headers disagree on (op, arch, objective) refuse to merge:
+    their scores are incomparable, so a ranking across them would be
+    meaningless (shard and backend may differ freely).
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    entries: dict[str, RankEntry] = {}
+    identity: tuple | None = None
+    for path in paths:
+        saw_meta = False
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line from a killed run; every record before
+                    # it is intact (the sink flushes line by line).
+                    continue
+                if record.get("kind") == "meta":
+                    saw_meta = True
+                    # early_termination is identity too: a pruned-mode shard
+                    # is missing candidates a full-mode shard ranks.
+                    this = tuple(
+                        record.get(k)
+                        for k in ("op", "arch", "objective", "early_termination")
+                    )
+                    if identity is None:
+                        identity = this
+                    elif this != identity:
+                        raise ExplorationError(
+                            f"checkpoint {path} belongs to a different sweep "
+                            f"(op/arch/objective/early_termination {this} vs "
+                            f"{identity}); its scores are not comparable — "
+                            "merge only shards of one sweep"
+                        )
+                    continue
+                if not saw_meta:
+                    # Signatures identify dataflows, not operations: without a
+                    # validated header, records from different sweeps would
+                    # silently collide and dedupe into a corrupt ranking.
+                    raise ExplorationError(
+                        f"checkpoint {path} has no meta header before its "
+                        "records; it is not a sweep checkpoint"
+                    )
+                if record.get("kind") != "result" or record.get("status") != "ok":
+                    continue
+                signature = record["signature"]
+                if signature not in entries:
+                    entries[signature] = RankEntry(
+                        signature=signature,
+                        name=record["name"],
+                        score=float(record["score"]),
+                        data=record["report"],
+                    )
+    return sorted(entries.values(), key=lambda e: e.sort_key)
+
+
+def render_ranking(entries: Iterable[RankEntry], *, top: int | None = None) -> str:
+    """Stable text rendering of a ranking (the shard-merge comparison format)."""
+    lines = []
+    for rank, entry in enumerate(entries, start=1):
+        if top is not None and rank > top:
+            break
+        lines.append(
+            f"{rank}. {entry.name} score={entry.score!r} "
+            f"latency={entry.data['latency_cycles']!r} signature={entry.signature}"
+        )
+    return "\n".join(lines)

@@ -399,3 +399,148 @@ class TestBatchEvaluation:
             assert bound > best_score
         # Pruned + evaluated covers the whole batch.
         assert len(pruned.reports) + len(pruned.pruned) == len(candidates)
+
+
+class TestGroupCountFloors:
+    """The candidate-dependent unique-volume floor on link-free interconnects."""
+
+    def _binary_candidates(self, op, count):
+        import itertools
+
+        from repro.dse.space import enumerate_binary_dataflows
+
+        return list(itertools.islice(enumerate_binary_dataflows(op.loop_dims), count))
+
+    def test_floor_is_sound_and_tighter_than_footprint(self):
+        # Without links the distinct-(PE, element) group count never exceeds
+        # the true unique volume, and it dominates the constant footprint.
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(16, 16), interconnect="none")
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), memoize=False)
+        assert not engine._has_links
+        relations = engine.materializer.relations(10**7)
+        checked = 0
+        for candidate in self._binary_candidates(op, 40):
+            try:
+                report = engine.evaluate(candidate)
+            except (ModelError, DataflowError):
+                continue
+            pe_lin, _ = engine.backend.stamps(
+                relations, candidate.bind(op), arch.pe_array
+            )
+            floors = engine._group_count_floors(pe_lin, relations)
+            for tensor, floor in floors.items():
+                assert floor <= report.volumes[tensor].unique
+                assert floor >= relations.tensors[tensor].footprint
+            checked += 1
+        assert checked >= 10
+
+    def test_unique_volume_sweep_prunes_and_preserves_rank(self):
+        # ROADMAP "stronger volume bounds": the candidate-dependent floor
+        # actually prunes unique_volume sweeps of the unpruned binary space,
+        # and the surviving best report is bit-identical to the full sweep's.
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(16, 16), interconnect="none")
+        candidates = self._binary_candidates(op, 120)
+        cache = RelationCache()
+        full = EvaluationEngine(op, arch, cache=cache, memoize=False).evaluate_batch(
+            candidates, objective="unique_volume"
+        )
+        pruned = EvaluationEngine(op, arch, cache=cache, memoize=False).evaluate_batch(
+            candidates, objective="unique_volume", early_termination=True
+        )
+        score = lambda r: (r.unique_volume(), r.dataflow)
+        best_full = min(full.reports, key=score)
+        best_pruned = min(pruned.reports, key=score)
+        assert report_dict(best_full) == report_dict(best_pruned)
+        assert len(pruned.pruned) > 0
+        best_score = best_full.unique_volume()
+        for _, bound in pruned.pruned:
+            assert bound > best_score
+        assert len(pruned.reports) + len(pruned.pruned) + len(pruned.failures) == len(
+            candidates
+        )
+
+    def test_footprint_floor_kept_when_links_exist(self):
+        # With links the group count is not a sound unique-volume floor (a
+        # group's first access can be served spatially), so the engine keeps
+        # the constant footprint floor — which can never prune candidates of
+        # the operation it was derived from.
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), memoize=False)
+        assert engine._has_links
+        batch = engine.evaluate_batch(
+            small_candidates(op, count=8),
+            objective="unique_volume",
+            early_termination=True,
+        )
+        assert not batch.pruned
+
+
+class TestBatchBestScoreSeed:
+    def test_seeded_best_score_prunes_first_batch(self):
+        # Streaming callers thread the running best through batches: a seeded
+        # best_score below every candidate's bound prunes the whole batch.
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), memoize=False)
+        candidates = small_candidates(op, count=6)
+        batch = engine.evaluate_batch(
+            candidates, objective="latency", early_termination=True, best_score=0.5
+        )
+        assert len(batch.pruned) == len(candidates)
+
+    def test_seed_matches_contiguous_sweep(self):
+        # Evaluating [a; b] in one batch equals evaluating a then b with the
+        # threaded best score (the SweepSession streaming contract).
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        candidates = small_candidates(op, count=10)
+        whole = EvaluationEngine(op, arch, cache=RelationCache(), memoize=False)
+        one = whole.evaluate_batch(
+            candidates, objective="latency", early_termination=True
+        )
+        split = EvaluationEngine(op, arch, cache=RelationCache(), memoize=False)
+        first = split.evaluate_batch(
+            candidates[:4], objective="latency", early_termination=True
+        )
+        best = min(r.latency_cycles for r in first.reports)
+        second = split.evaluate_batch(
+            candidates[4:],
+            objective="latency",
+            early_termination=True,
+            best_score=best,
+        )
+        merged = [(o.name, o.pruned, o.error) for o in first.outcomes + second.outcomes]
+        assert merged == [(o.name, o.pruned, o.error) for o in one.outcomes]
+
+
+class TestPersistentPool:
+    def test_parallel_batches_reuse_one_pool(self):
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, jobs=2, cache=RelationCache())
+        candidates = small_candidates(op, count=8)
+        engine.evaluate_batch(candidates[:4])
+        pool = engine._pool
+        assert pool is not None
+        engine.evaluate_batch(candidates[4:])
+        assert engine._pool is pool
+        engine.close()
+        assert engine._pool is None
+
+    def test_broken_pool_is_rebuilt(self):
+        # A worker crash must not poison the engine forever: the next batch
+        # gets a fresh pool instead of re-raising BrokenProcessPool.
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, jobs=2, cache=RelationCache())
+        candidates = small_candidates(op, count=6)
+        engine.evaluate_batch(candidates[:3])
+        broken = engine._pool
+        broken._broken = "simulated worker crash"
+        batch = engine.evaluate_batch(candidates[3:])
+        assert engine._pool is not broken
+        assert len(batch.reports) == 3
+        engine.close()

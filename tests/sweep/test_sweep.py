@@ -1,0 +1,401 @@
+"""Tests for the streaming sweep pipeline: sources, session, sinks."""
+
+import json
+
+import pytest
+
+from repro.core.engine import EvaluationEngine, RelationCache, dataflow_signature
+from repro.dse.pruning import pruned_candidates
+from repro.errors import ExplorationError
+from repro.experiments.common import make_arch
+from repro.sweep import (
+    CandidateSource,
+    JsonlCheckpointSink,
+    SweepSession,
+    TopKSink,
+    load_ranking,
+    parse_shard,
+    render_ranking,
+    signature_shard_index,
+)
+from repro.tensor.kernels import gemm
+
+
+def make_op():
+    return gemm(16, 16, 16)
+
+
+def make_source(op, count=20):
+    return CandidateSource(
+        lambda: pruned_candidates(
+            op, pe_dims=(4, 4), allow_packing=True, max_candidates=count
+        ),
+        name="pruned",
+    )
+
+
+def make_session(op, arch=None, **kwargs):
+    arch = arch or make_arch(pe_dims=(4, 4))
+    engine = EvaluationEngine(op, arch, cache=RelationCache())
+    return SweepSession(engine, **kwargs)
+
+
+def ranking_key(result_or_entries):
+    entries = getattr(result_or_entries, "ranking", result_or_entries)
+    return [(e.signature, e.name, e.score, e.data) for e in entries]
+
+
+class TestCandidateSource:
+    def test_source_is_reiterable(self):
+        op = make_op()
+        source = make_source(op, count=5)
+        assert len(list(source)) == len(list(source)) == 5
+
+    def test_limit_and_chain(self):
+        op = make_op()
+        source = make_source(op, count=6)
+        assert len(list(source.limit(2))) == 2
+        chained = source.limit(2).chain(source.limit(3))
+        assert len(list(chained)) == 5
+
+    def test_dedupe_drops_structural_duplicates(self):
+        op = make_op()
+        candidates = list(make_source(op, count=4))
+        source = CandidateSource.wrap(candidates + candidates)
+        assert len(list(source.dedupe())) == 4
+
+    def test_shards_partition_exactly_once(self):
+        # Every candidate lands in exactly one shard, for any shard count.
+        op = make_op()
+        source = make_source(op, count=20)
+        full = [dataflow_signature(c) for c in source]
+        for count in (2, 3, 5):
+            shards = [
+                [dataflow_signature(c) for c in source.shard(index, count)]
+                for index in range(count)
+            ]
+            merged = [signature for shard in shards for signature in shard]
+            assert sorted(merged) == sorted(full)
+            assert len(merged) == len(full)
+
+    def test_shard_assignment_is_stable(self):
+        # The shard of a signature is a pure function of the signature text.
+        op = make_op()
+        for candidate in make_source(op, count=10):
+            signature = dataflow_signature(candidate)
+            assert signature_shard_index(signature, 4) == signature_shard_index(
+                signature, 4
+            )
+
+    def test_shard_commutes_with_dedupe(self):
+        op = make_op()
+        candidates = list(make_source(op, count=8))
+        source = CandidateSource.wrap(candidates + candidates)
+        a = [dataflow_signature(c) for c in source.dedupe().shard(0, 2)]
+        b = [dataflow_signature(c) for c in source.shard(0, 2).dedupe()]
+        assert a == b
+
+    def test_parse_shard(self):
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("3/4") == (3, 4)
+        for bad in ("2/2", "-1/2", "x/2", "1", "1/0"):
+            with pytest.raises(ExplorationError):
+                parse_shard(bad)
+
+
+class TestSweepSession:
+    def test_streaming_batches_match_single_batch(self):
+        # Batch size never changes the outcome, only the streaming granularity.
+        op = make_op()
+        candidates = list(make_source(op, count=12))
+        big = make_session(op, batch_size=1024).run(candidates)
+        small = make_session(op, batch_size=3).run(candidates)
+        assert small.batches > big.batches
+        assert ranking_key(small) == ranking_key(big)
+
+    def test_early_termination_decisions_survive_batching(self):
+        # The running best threads through evaluate_batch calls, so pruning
+        # decisions are identical whatever the batch size (serial engine).
+        op = make_op()
+        candidates = list(make_source(op, count=12))
+        one = make_session(op, batch_size=1024, early_termination=True,
+                           objective="sbw").run(candidates)
+        streamed = make_session(op, batch_size=2, early_termination=True,
+                                objective="sbw").run(candidates)
+        assert sorted(streamed.pruned) == sorted(one.pruned)
+        assert ranking_key(streamed) == ranking_key(one)
+
+    def test_duplicates_counted(self):
+        op = make_op()
+        candidates = list(make_source(op, count=4))
+        result = make_session(op).run(candidates + candidates)
+        assert result.duplicates == 4
+        assert len(result.evaluated) == 4
+
+    def test_sharded_sweeps_merge_to_unsharded_ranking(self, tmp_path):
+        op = make_op()
+        source = make_source(op, count=20)
+        full = make_session(op, checkpoint=str(tmp_path / "full.jsonl")).run(source)
+        shard_paths = []
+        for index in range(2):
+            path = str(tmp_path / f"shard{index}.jsonl")
+            shard_paths.append(path)
+            result = make_session(op, checkpoint=path).run(source, shard=(index, 2))
+            assert result.shard == (index, 2)
+            assert result.sharded_out > 0
+        merged = load_ranking(shard_paths)
+        reference = load_ranking(tmp_path / "full.jsonl")
+        assert ranking_key(merged) == ranking_key(reference)
+        assert ranking_key(merged) == ranking_key(full)
+        assert render_ranking(merged) == render_ranking(reference)
+
+    def test_resume_after_kill_is_bit_identical(self, tmp_path):
+        op = make_op()
+        source = make_source(op, count=20)
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        clean = make_session(op).run(source)
+
+        # Simulate a killed sweep: only the first 7 candidates were processed.
+        make_session(op, checkpoint=checkpoint).run(source.limit(7))
+        resumed = make_session(op, checkpoint=checkpoint, resume=True).run(source)
+        assert resumed.skipped == 7
+        assert len(resumed.evaluated) == len(clean.evaluated) - 7
+        assert ranking_key(resumed) == ranking_key(clean)
+
+    def test_resume_tolerates_torn_final_line(self, tmp_path):
+        op = make_op()
+        source = make_source(op, count=10)
+        checkpoint = tmp_path / "sweep.jsonl"
+        make_session(op, checkpoint=str(checkpoint)).run(source.limit(5))
+        # A kill mid-write leaves a truncated, newline-less record at the end.
+        with checkpoint.open("a") as handle:
+            handle.write('{"kind": "result", "signature": "tr')
+        resumed = make_session(op, checkpoint=str(checkpoint), resume=True).run(source)
+        clean = make_session(op).run(source)
+        assert ranking_key(resumed) == ranking_key(clean)
+        # The resumed records were not concatenated onto the torn fragment:
+        # every line except the fragment parses, and the merged file ranks
+        # identically to the clean run.
+        lines = checkpoint.read_text().splitlines()
+        unparseable = 0
+        for line in lines:
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                unparseable += 1
+        assert unparseable == 1
+        assert ranking_key(load_ranking(checkpoint)) == ranking_key(clean)
+
+    def test_load_ranking_tolerates_torn_final_line(self, tmp_path):
+        # sweep-merge of a killed shard's checkpoint must not crash.
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        result = make_session(op, checkpoint=str(checkpoint)).run(
+            make_source(op, count=5)
+        )
+        with checkpoint.open("a") as handle:
+            handle.write('{"kind": "result", "signature": "tr')
+        assert ranking_key(load_ranking(checkpoint)) == ranking_key(result)
+
+    def test_resume_refuses_foreign_checkpoint(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        make_session(make_op(), checkpoint=checkpoint).run(make_source(make_op(), 3))
+        other_op = gemm(8, 8, 24)
+        with pytest.raises(ExplorationError, match="different sweep"):
+            make_session(other_op, checkpoint=checkpoint, resume=True).run(
+                make_source(other_op, 3)
+            )
+
+    def test_resume_refuses_early_termination_mismatch(self, tmp_path):
+        # Pruned records only exist under early termination; resuming in the
+        # other mode would silently skip candidates the sweep owes a score.
+        op = make_op()
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        make_session(op, early_termination=True, objective="sbw",
+                     checkpoint=checkpoint).run(make_source(op, 6))
+        with pytest.raises(ExplorationError, match="different sweep"):
+            make_session(op, objective="sbw", checkpoint=checkpoint,
+                         resume=True).run(make_source(op, 6))
+
+    def test_resume_refuses_shard_mismatch(self, tmp_path):
+        # Resuming a shard-0 checkpoint as shard 1 would merge foreign results.
+        op = make_op()
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        make_session(op, checkpoint=checkpoint).run(make_source(op, 6), shard=(0, 2))
+        with pytest.raises(ExplorationError, match="different sweep"):
+            make_session(op, checkpoint=checkpoint, resume=True).run(
+                make_source(op, 6), shard=(1, 2)
+            )
+
+    def test_existing_checkpoint_refused_without_resume(self, tmp_path):
+        # Re-running without --resume must not silently truncate hours of
+        # recorded sweep results.
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        make_session(op, checkpoint=str(checkpoint)).run(make_source(op, 3))
+        recorded = checkpoint.read_text()
+        with pytest.raises(ExplorationError, match="already exists"):
+            make_session(op, checkpoint=str(checkpoint)).run(make_source(op, 3))
+        assert checkpoint.read_text() == recorded
+
+    def test_top_raises_on_restored_entries(self, tmp_path):
+        # top() must not silently return the live tail as if it were the
+        # sweep's true top-k after a resume.
+        op = make_op()
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        source = make_source(op, count=10)
+        make_session(op, checkpoint=checkpoint).run(source.limit(6))
+        resumed = make_session(op, checkpoint=checkpoint, resume=True).run(source)
+        with pytest.raises(ExplorationError, match="result.ranking"):
+            resumed.top(3)
+        # Without restored entries top() keeps its classic behaviour.
+        clean = make_session(op).run(source)
+        assert [r.dataflow for r in clean.top(3)] == [
+            e.name for e in clean.ranking[:3]
+        ]
+
+    def test_checkpoint_records_failures_and_resume_skips_them(self, tmp_path):
+        from repro.core import Dataflow
+
+        op = make_op()
+        bad = Dataflow.from_exprs("bad", op, ["i", "j"], ["k"])
+        good = list(make_source(op, count=2))
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        first = make_session(op, checkpoint=checkpoint).run([bad] + good)
+        assert len(first.failures) == 1
+        resumed = make_session(op, checkpoint=checkpoint, resume=True).run([bad] + good)
+        assert resumed.skipped == 3
+        assert not resumed.failures
+
+    def test_early_termination_resume_replays_decisions(self, tmp_path):
+        # A resumed early-termination sweep seeds its running best from the
+        # checkpoint, so it makes exactly the decisions of the clean sweep.
+        op = make_op()
+        source = make_source(op, count=16)
+        clean = make_session(op, early_termination=True, objective="sbw").run(source)
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        make_session(op, early_termination=True, objective="sbw",
+                     checkpoint=checkpoint).run(source.limit(9))
+        session = make_session(op, early_termination=True, objective="sbw",
+                               checkpoint=checkpoint, resume=True)
+        resumed = session.run(source)
+        assert ranking_key(resumed) == ranking_key(clean)
+        total_pruned = len(resumed.pruned) + sum(
+            1
+            for record in session.checkpoint_sink.completed.values()
+            if record.get("status") == "pruned"
+        )
+        assert total_pruned == len(clean.pruned)
+
+    def test_topk_sink(self):
+        op = make_op()
+        sink = TopKSink(k=3)
+        result = make_session(op, sinks=[sink]).run(make_source(op, count=10))
+        assert len(sink.top()) == 3
+        assert [e.signature for e in sink.top()] == [
+            e.signature for e in result.ranking[:3]
+        ]
+
+    def test_callable_objective(self):
+        op = make_op()
+        result = make_session(op, objective=lambda r: r.energy.total_pj).run(
+            make_source(op, count=4)
+        )
+        scores = [entry.score for entry in result.ranking]
+        assert scores == sorted(scores)
+        assert result.objective == "<lambda>"
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ExplorationError):
+            make_session(make_op(), objective="beauty")
+
+    def test_resume_without_checkpoint_rejected(self):
+        # A silent full re-sweep is the opposite of what resume promises.
+        with pytest.raises(ExplorationError, match="checkpoint"):
+            make_session(make_op(), resume=True)
+
+    def test_throughput_and_summary(self):
+        op = make_op()
+        result = make_session(op).run(make_source(op, count=4))
+        assert result.throughput > 0
+        assert "objective = latency" in result.summary()
+
+
+class TestCheckpointFormat:
+    def test_checkpoint_is_jsonl_with_meta_header(self, tmp_path):
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        make_session(op, checkpoint=str(checkpoint)).run(make_source(op, count=3))
+        lines = [json.loads(line) for line in checkpoint.read_text().splitlines()]
+        assert lines[0]["kind"] == "meta"
+        assert all(record["kind"] == "result" for record in lines[1:])
+        assert all("signature" in record for record in lines[1:])
+
+    def test_load_ranking_refuses_mixed_sweeps(self, tmp_path):
+        # Merging checkpoints of different sweeps would rank incomparable
+        # scores; sweep-merge must refuse, not produce plausible nonsense.
+        op_a, op_b = make_op(), gemm(8, 8, 24)
+        path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        make_session(op_a, checkpoint=str(path_a)).run(make_source(op_a, 3))
+        make_session(op_b, checkpoint=str(path_b)).run(make_source(op_b, 3))
+        with pytest.raises(ExplorationError, match="not comparable"):
+            load_ranking([path_a, path_b])
+
+    def test_load_ranking_refuses_mixed_termination_modes(self, tmp_path):
+        # A pruned-mode shard is missing candidates a full-mode shard ranks.
+        op = make_op()
+        full_path = tmp_path / "full.jsonl"
+        et_path = tmp_path / "et.jsonl"
+        make_session(op, objective="sbw", checkpoint=str(full_path)).run(
+            make_source(op, 6), shard=(0, 2)
+        )
+        make_session(op, objective="sbw", early_termination=True,
+                     checkpoint=str(et_path)).run(make_source(op, 6), shard=(1, 2))
+        with pytest.raises(ExplorationError, match="not comparable"):
+            load_ranking([full_path, et_path])
+
+    def test_checkpoint_requires_named_objective(self, tmp_path):
+        # A callable objective has no checkpoint-verifiable identity, so
+        # resumed scores could silently mix objectives.
+        with pytest.raises(ExplorationError, match="named objective"):
+            make_session(
+                make_op(),
+                objective=lambda r: r.latency_cycles,
+                checkpoint=str(tmp_path / "ck.jsonl"),
+            )
+
+    def test_resume_into_empty_existing_file_writes_header(self, tmp_path):
+        # `touch sweep.jsonl` (or a kill before the header write) must not
+        # produce a header-less checkpoint that escapes identity validation.
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        checkpoint.write_text("")
+        make_session(op, checkpoint=str(checkpoint), resume=True).run(
+            make_source(op, 3)
+        )
+        first = json.loads(checkpoint.read_text().splitlines()[0])
+        assert first["kind"] == "meta"
+
+    def test_headerless_checkpoint_refused(self, tmp_path):
+        op = make_op()
+        good = tmp_path / "good.jsonl"
+        result = make_session(op, checkpoint=str(good)).run(make_source(op, 3))
+        headerless = tmp_path / "headerless.jsonl"
+        headerless.write_text(
+            "\n".join(good.read_text().splitlines()[1:]) + "\n"
+        )
+        with pytest.raises(ExplorationError, match="no meta header"):
+            make_session(op, checkpoint=str(headerless), resume=True).run(
+                make_source(op, 3)
+            )
+        with pytest.raises(ExplorationError, match="no meta header"):
+            load_ranking(headerless)
+        assert ranking_key(load_ranking(good)) == ranking_key(result)
+
+    def test_load_ranking_single_path(self, tmp_path):
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        result = make_session(op, checkpoint=str(checkpoint)).run(
+            make_source(op, count=5)
+        )
+        assert ranking_key(load_ranking(checkpoint)) == ranking_key(result)

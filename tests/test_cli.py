@@ -56,3 +56,66 @@ class TestParser:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["--version"])
+
+
+class TestShardedExplore:
+    def _explore(self, *extra):
+        return main([
+            "explore", "--kernel", "gemm", "--sizes", "12", "12", "12",
+            "--max-candidates", "8", "--top", "3", *extra,
+        ])
+
+    def test_explore_shard_and_checkpoint(self, capsys, tmp_path):
+        full = tmp_path / "full.jsonl"
+        assert self._explore("--checkpoint", str(full)) == 0
+        reference = capsys.readouterr().out
+        shard_paths = []
+        for index in range(2):
+            path = tmp_path / f"s{index}.jsonl"
+            shard_paths.append(str(path))
+            assert self._explore("--shard", f"{index}/2", "--checkpoint", str(path)) == 0
+            assert "shard" in capsys.readouterr().out
+        # Merged shard checkpoints render the same ranking as the full sweep.
+        assert main(["sweep-merge", str(full)]) == 0
+        merged_full = capsys.readouterr().out
+        assert main(["sweep-merge", *shard_paths]) == 0
+        merged_shards = capsys.readouterr().out
+        assert merged_full == merged_shards
+        assert "objective = latency" in reference
+
+    def test_explore_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        assert self._explore("--checkpoint", str(checkpoint)) == 0
+        capsys.readouterr()
+        assert self._explore("--checkpoint", str(checkpoint), "--resume") == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_explore_invalid_shard(self, capsys):
+        from repro.errors import ExplorationError
+
+        with pytest.raises(ExplorationError):
+            self._explore("--shard", "2/2")
+
+    def test_sweep_merge_empty(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["sweep-merge", str(empty)]) == 1
+
+
+class TestServeCommand:
+    def test_serve_requests_file(self, capsys, tmp_path):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"kernel": "gemm", "sizes": [12, 12, 12],
+                        "max_candidates": 4}) + "\n"
+            + json.dumps({"kernel": "gemm", "sizes": [12, 12, 12],
+                          "objective": "energy", "max_candidates": 4}) + "\n"
+        )
+        assert main(["serve", "--requests", str(requests)]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert len(records) == 2
+        assert records[1]["engine_reused"] is True
+        assert "served 2" in captured.err
