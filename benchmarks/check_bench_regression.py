@@ -1,0 +1,118 @@
+"""Fail when sweep throughput regresses against the committed trajectory.
+
+Used by the CI ``bench-regression`` job: the gemm48 sweep benchmark writes a
+fresh ``--bench-json`` file, and this script compares it against the
+committed ``BENCH_engine.json`` baseline.
+
+Two metrics are compared against the tolerance (default 20%):
+
+* ``fused_candidates_per_sec`` — the absolute throughput headline, and
+* ``fused_speedup`` — fused-vs-affine measured in the *same* run, which is
+  machine-class invariant.
+
+The machine-invariant ratio is the authoritative gate whenever both files
+record it: a regressed ratio fails even on a runner fast enough to keep the
+absolute number above the floor, and a slower runner with a healthy ratio
+passes (with a note to refresh the baseline).  When the ratio is absent the
+absolute number gates alone.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_engine.json --current fresh_bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_BENCHMARK = "engine_sweep_gemm48x100"
+
+
+def load_metric(path: str, benchmark: str, field: str) -> float | None:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for record in payload.get("records", []):
+        if record.get("benchmark") == benchmark and field in record:
+            return float(record[field])
+    return None
+
+
+def compare(name: str, baseline: float, current: float, tolerance: float) -> bool:
+    """Print one metric's verdict; returns True when within tolerance."""
+    floor = baseline * (1.0 - tolerance)
+    ok = current >= floor
+    print(
+        f"{name}: baseline {baseline:.2f}, current {current:.2f}, "
+        f"floor {floor:.2f} -> {'ok' if ok else 'regressed'}"
+    )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_engine.json trajectory")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured --bench-json file")
+    parser.add_argument("--benchmark", default=DEFAULT_BENCHMARK)
+    parser.add_argument("--field", default="fused_candidates_per_sec",
+                        help="absolute throughput field")
+    parser.add_argument("--ratio-field", default="fused_speedup",
+                        help="machine-invariant ratio field (empty to disable)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop before failing (0.20 = 20%%)")
+    args = parser.parse_args(argv)
+
+    current = load_metric(args.current, args.benchmark, args.field)
+    if current is None:
+        print(f"error: {args.current} has no {args.benchmark}.{args.field} record")
+        return 2
+    baseline = load_metric(args.baseline, args.benchmark, args.field)
+    if baseline is None:
+        # First run on a branch without a committed record: nothing to gate.
+        print(f"no committed baseline for {args.benchmark}.{args.field}; "
+              f"current = {current:.1f} (recording only)")
+        return 0
+
+    absolute_ok = compare(
+        f"{args.benchmark}.{args.field}", baseline, current, args.tolerance
+    )
+    ratio_ok = None
+    if args.ratio_field:
+        ratio_baseline = load_metric(args.baseline, args.benchmark, args.ratio_field)
+        ratio_current = load_metric(args.current, args.benchmark, args.ratio_field)
+        if ratio_baseline is not None and ratio_current is not None:
+            ratio_ok = compare(
+                f"{args.benchmark}.{args.ratio_field}",
+                ratio_baseline, ratio_current, args.tolerance,
+            )
+
+    if ratio_ok is False:
+        print(
+            f"the machine-invariant fused-vs-affine ratio regressed more than "
+            f"{args.tolerance:.0%} versus the committed baseline — a code "
+            "regression, whatever the runner class; investigate before merging"
+        )
+        return 1
+    if not absolute_ok and ratio_ok is None:
+        print(
+            f"throughput regressed more than {args.tolerance:.0%} versus the "
+            "committed BENCH_engine.json (no ratio metric available to rule "
+            "out a machine-class difference); investigate before merging"
+        )
+        return 1
+    if not absolute_ok:
+        print(
+            "absolute throughput is below the committed baseline but the "
+            "fused-vs-affine ratio is healthy: machine-class difference, "
+            "not a regression (refresh BENCH_engine.json from this machine "
+            "class to tighten the gate)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

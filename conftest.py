@@ -2,10 +2,17 @@
 
 ``--bench-json PATH`` makes the session write every record collected through
 the :func:`bench_record` fixture (timings, speedups, engine stats from the
-benchmarks) to ``PATH`` as JSON.  CI uploads the file as an artifact so perf
-regressions are visible across PRs; locally::
+benchmarks) to ``PATH`` as JSON.  The option now *defaults to the repo root*
+(``BENCH_engine.json``) so CI and local benchmark runs both land in the
+committed trajectory file without extra flags; sessions that collect no
+records (the fast test lane) leave the file untouched.
 
-    PYTHONPATH=src python -m pytest -m slow benchmarks --bench-json BENCH_engine.json
+Existing entries are **merged, not overwritten**: records replace same-named
+benchmarks and every other benchmark's last measurement survives, so the file
+accumulates the cross-PR perf trajectory even when only a subset of
+benchmarks runs.  CI uploads the file as an artifact; locally::
+
+    PYTHONPATH=src python -m pytest -m slow benchmarks
 """
 
 from __future__ import annotations
@@ -18,14 +25,19 @@ import pytest
 
 BENCH_RECORDS_KEY = pytest.StashKey()
 
+#: Committed benchmark trajectory, next to this conftest.
+DEFAULT_BENCH_JSON = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
 
 def pytest_addoption(parser):
     parser.addoption(
         "--bench-json",
         action="store",
-        default=None,
+        default=str(DEFAULT_BENCH_JSON),
         metavar="PATH",
-        help="write benchmark timing records to PATH as JSON",
+        help="write benchmark timing records to PATH as JSON "
+             "(default: BENCH_engine.json at the repo root; existing entries "
+             "are merged by benchmark name, not overwritten)",
     )
 
 
@@ -46,12 +58,37 @@ def bench_record(request):
     return _record
 
 
-def pytest_sessionfinish(session, exitstatus):
-    path = session.config.getoption("--bench-json")
-    if not path:
-        return
-    payload = {
+def merge_bench_records(existing: dict, records: list[dict]) -> dict:
+    """Replace same-named records, keep the rest of the trajectory."""
+    merged: dict[str, dict] = {}
+    for record in existing.get("records", []):
+        name = record.get("benchmark")
+        if name:
+            merged[name] = record
+    for record in records:
+        merged[record["benchmark"]] = record
+    return {
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "records": session.config.stash.get(BENCH_RECORDS_KEY, []),
+        "records": sorted(merged.values(), key=lambda r: r["benchmark"]),
     }
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    records = session.config.stash.get(BENCH_RECORDS_KEY, [])
+    if not records:
+        # Nothing measured this session (e.g. the fast lane); never clobber
+        # the committed trajectory with an empty file.
+        return
+    if exitstatus != 0:
+        # A failing session must not rewrite the committed baseline with the
+        # very numbers whose assertions just failed.
+        return
+    path = pathlib.Path(session.config.getoption("--bench-json"))
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    payload = merge_bench_records(existing, records)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

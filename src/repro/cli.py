@@ -116,6 +116,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         shard=shard,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        # The in-memory ranking is bounded to what gets printed; the JSONL
+        # checkpoint (when given) stays the full per-candidate record.
+        # ``--top 0`` keeps the historical unbounded behaviour (print nothing).
+        top_k=args.top if args.top > 0 else None,
     )
     print(result.summary(count=args.top))
     stats = explorer.engine.stats
@@ -134,6 +138,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             else ""
         )
     )
+    if args.profile:
+        stages = explorer.engine.profile()
+        total = sum(stages.values()) or 1.0
+        print("profile (per-stage wall clock, workers included):")
+        for name, seconds in sorted(stages.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:12s} {seconds:8.3f}s  {100 * seconds / total:5.1f}%")
+        kernel_stats = {
+            key: stats[key]
+            for key in ("fused_path", "compiled_path", "bitset_path",
+                        "reference_path", "spacetime_hits", "stamp_fallback_exprs")
+            if stats.get(key)
+        }
+        if kernel_stats:
+            print(f"  kernels: {kernel_stats}")
     return 0
 
 
@@ -217,13 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--objective", default="latency", choices=sorted(OBJECTIVES),
                          help="ranking objective")
     explore.add_argument("--backend", default="auto", choices=list(BACKEND_NAMES),
-                         help="evaluation backend: auto picks compiled kernels by op "
-                              "size, interp is the interpreted baseline, affine forces "
-                              "compiled coefficient-matrix stamps, bitset forces the "
-                              "packed-word membership kernel")
+                         help="evaluation backend: auto is the batch-fused hot path "
+                              "with per-tensor bit-set fallback, interp the interpreted "
+                              "baseline, affine the PR 2 compiled backend, bitset the "
+                              "packed-word membership kernel, fused the pure batch-"
+                              "fused backend")
     explore.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep (1 = serial)")
-    explore.add_argument("--top", type=int, default=5, help="how many best dataflows to print")
+    explore.add_argument("--top", type=int, default=5,
+                         help="how many best dataflows to print; also bounds the "
+                              "in-memory ranking (the checkpoint keeps the full record)")
+    explore.add_argument("--profile", action="store_true",
+                         help="print the per-stage timing breakdown (materialise / "
+                              "stamps / volumes / rank) after the sweep")
     explore.add_argument("--max-candidates", type=int, default=64,
                          help="cap on generated candidate dataflows")
     explore.add_argument("--max-instances", type=int, default=4_000_000)

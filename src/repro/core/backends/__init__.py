@@ -1,6 +1,6 @@
 """Pluggable evaluation backends for :class:`repro.core.engine.EvaluationEngine`.
 
-Four backends share the engine's ``evaluate_batch`` contract and produce
+Five backends share the engine's ``evaluate_batch`` contract and produce
 bit-identical reports; they differ only in how the per-candidate hot path is
 computed:
 
@@ -18,10 +18,18 @@ computed:
     Compiled stamps plus the packed ``np.uint64`` occupancy kernel whenever it
     is exact and fits memory; for tensors where it does not apply, behaves
     like ``affine``.
+``fused``
+    Batch-fused evaluation (PR 4): the whole batch's deduplicated coefficient
+    rows stack into one matmul per cached domain chunk, uniform-block layouts
+    count volumes with segmented sorts and shifted-slice membership windows
+    instead of ``searchsorted`` probes, and candidates whose (PE, time-rank)
+    columns are *content-identical* to an already evaluated candidate replay
+    its report (verified by exact array comparison).
 ``auto``
-    Compiled stamps; per tensor, the bit-set kernel when the packed occupancy
-    is smaller than the pair array (small ops), the compiled grouped kernel
-    otherwise.  This is the default.
+    The fused hot path with the bit-set kernel engaged per tensor where the
+    packed occupancy is smaller than the pair array (small ops) or the
+    temporal interval is beyond the sort kernels' window.  This is the
+    default.
 """
 
 from __future__ import annotations
@@ -30,13 +38,14 @@ from typing import TYPE_CHECKING
 
 from repro.core.backends.base import EngineBackend, InterpBackend
 from repro.core.backends.affine import AffineBackend
+from repro.core.backends.fused import FusedBackend
 from repro.errors import ExplorationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import EvaluationEngine
 
 #: Valid values for the ``backend=`` engine/explorer/CLI option.
-BACKEND_NAMES = ("auto", "interp", "affine", "bitset")
+BACKEND_NAMES = ("auto", "interp", "affine", "bitset", "fused")
 
 
 def make_backend(name: str, engine: "EvaluationEngine") -> EngineBackend:
@@ -49,8 +58,10 @@ def make_backend(name: str, engine: "EvaluationEngine") -> EngineBackend:
         backend = AffineBackend(engine, bitset_mode="always")
         backend.name = "bitset"
         return backend
+    if name == "fused":
+        return FusedBackend(engine, bitset_mode="never")
     if name == "auto":
-        backend = AffineBackend(engine, bitset_mode="auto")
+        backend = FusedBackend(engine, bitset_mode="auto")
         backend.name = "auto"
         return backend
     raise ExplorationError(
@@ -62,6 +73,7 @@ __all__ = [
     "AffineBackend",
     "BACKEND_NAMES",
     "EngineBackend",
+    "FusedBackend",
     "InterpBackend",
     "make_backend",
 ]

@@ -807,6 +807,31 @@ class AffineBackend(EngineBackend):
         self._rank32 = (t_rank, rank32)
         return rank32
 
+    def _volume_sorted(
+        self, tensor, layout, t_rank, relations, assume_unique, rank_span, rank32,
+    ) -> tuple[VolumeMetrics, str] | None:
+        """The sort-based kernel chain for one tensor, after the bit-set try.
+
+        Subclasses insert faster sort-based kernels here (the fused backend's
+        windowed kernel chains to this one); the bit-set dispatch stays in
+        :meth:`_volume_one` so its gating exists in exactly one place.
+        """
+        engine = self.engine
+        metrics = compiled_group_volume_metrics(
+            tensor,
+            layout,
+            t_rank,
+            spatial_interval=engine._spacetime.spatial_interval,
+            temporal_interval=engine.temporal_interval,
+            footprint=relations.tensors[tensor].footprint,
+            assume_unique=assume_unique,
+            rank_span=rank_span,
+            rank32=rank32,
+        )
+        if metrics is not None:
+            return metrics, "compiled_path"
+        return None
+
     def _volume_one(
         self, tensor, layout, pe_lin, t_rank, relations, assume_unique,
         rank_span, rank32,
@@ -835,19 +860,11 @@ class AffineBackend(EngineBackend):
                 )
                 if metrics is not None:
                     return metrics, "bitset_path"
-            metrics = compiled_group_volume_metrics(
-                tensor,
-                layout,
-                t_rank,
-                spatial_interval=engine._spacetime.spatial_interval,
-                temporal_interval=engine.temporal_interval,
-                footprint=footprint,
-                assume_unique=assume_unique,
-                rank_span=rank_span,
-                rank32=rank32,
+            sorted_result = self._volume_sorted(
+                tensor, layout, t_rank, relations, assume_unique, rank_span, rank32
             )
-            if metrics is not None:
-                return metrics, "compiled_path"
+            if sorted_result is not None:
+                return sorted_result
         from repro.core.engine import _grouped_volume_metrics
 
         metrics = _grouped_volume_metrics(

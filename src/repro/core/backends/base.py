@@ -74,6 +74,21 @@ class EngineBackend:
         """
         return None
 
+    # -- spacetime-content memoisation -------------------------------------------
+
+    def spacetime_report(self, dataflow, pe_lin, t_rank):
+        """A finished report for this exact (PE, time-rank) map, or ``None``.
+
+        Structurally distinct candidates can assign identical spacetime
+        stamps; backends that fingerprint the stamp *content* (see
+        :class:`repro.core.backends.fused.FusedBackend`) replay the finished
+        report instead of recounting.  The default keeps no such memo.
+        """
+        return None
+
+    def spacetime_remember(self, dataflow, pe_lin, t_rank, report) -> None:
+        """Record a finished report for :meth:`spacetime_report` lookups."""
+
     # -- utilization -------------------------------------------------------------
 
     def utilization(

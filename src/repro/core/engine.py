@@ -31,7 +31,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -44,6 +44,7 @@ from repro.core.dataflow import Dataflow
 from repro.core.energy_model import compute_energy
 from repro.core.latency import compute_latency
 from repro.core.metrics import PerformanceReport
+from repro.core.shm import attach_relations, share_relations
 from repro.core.spacetime import SpacetimeMap
 from repro.core.utilization import UtilizationMetrics, compute_utilization
 from repro.core.volumes import VolumeMetrics, compute_volume_metrics
@@ -828,6 +829,9 @@ class EvaluationEngine:
         self._has_links = bool((self._predecessor_table >= 0).any())
         self._pool: ProcessPoolExecutor | None = None
         self._pool_jobs = 0
+        #: Parent-owned shared-memory segment holding the cached relations for
+        #: ``jobs > 1`` workers (see :mod:`repro.core.shm`); ``close()`` owns it.
+        self._shared_relations = None
         self.backend_name = str(backend)
         self.backend = make_backend(self.backend_name, self)
         self.stats: dict[str, int] = {
@@ -843,17 +847,40 @@ class EvaluationEngine:
             # Per-tensor kernel choices of the compiled backends.
             "compiled_path": 0,
             "bitset_path": 0,
+            "fused_path": 0,
+            # Candidates replayed from the fused backend's spacetime-content
+            # memo (identical (PE, rank) columns under different expressions).
+            "spacetime_hits": 0,
             # Stamp expressions the compiled backends handed back to the
             # interpreter (nested floor/mod/abs terms).
             "stamp_fallback_exprs": 0,
         }
+        #: Wall-clock seconds per pipeline stage, for ``tenet explore
+        #: --profile``: where a sweep's time actually goes (stamps vs volume
+        #: counting vs ranking), aggregated across workers like ``stats``.
+        self.stage_seconds: dict[str, float] = {
+            "materialise": 0.0,
+            "stamps": 0.0,
+            "utilization": 0.0,
+            "volumes": 0.0,
+            "rank": 0.0,
+        }
 
     def close(self) -> None:
-        """Shut down the persistent worker pool (no-op when jobs == 1)."""
+        """Shut down the persistent worker pool and release shared memory.
+
+        Owns the lifecycle of the relations segment: the ``/dev/shm`` entry is
+        unlinked here (and, as a backstop, at interpreter exit), never by the
+        workers.  A later parallel batch transparently recreates both the pool
+        and the segment.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
             self._pool_jobs = 0
+        if self._shared_relations is not None:
+            self._shared_relations.close()
+            self._shared_relations = None
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -867,6 +894,10 @@ class EvaluationEngine:
         stats["worker_hits"] = self.stats.get("worker_cache_hits", 0)
         stats["worker_misses"] = self.stats.get("worker_cache_misses", 0)
         return stats
+
+    def profile(self) -> dict[str, float]:
+        """Per-stage wall-clock breakdown (seconds), workers aggregated in."""
+        return dict(self.stage_seconds)
 
     # -- single-candidate evaluation ---------------------------------------------
 
@@ -942,8 +973,13 @@ class EvaluationEngine:
                 )
             notes.extend(validation.messages)
 
+        stage = self.stage_seconds
+        mark = time.perf_counter()
         relations = self.materializer.relations(self.max_instances)
         num_pes = self.arch.pe_array.size
+        now = time.perf_counter()
+        stage["materialise"] += now - mark
+        mark = now
 
         if relations is not None:
             if stamps is not None:
@@ -958,12 +994,18 @@ class EvaluationEngine:
                     bound, self.arch.pe_array, self.max_instances
                 )
             )
+        now = time.perf_counter()
+        stage["stamps"] += now - mark
+        mark = now
 
         utilization = None
         if relations is not None:
             utilization = self.backend.utilization(pe_lin, t_rank, num_pes)
         if utilization is None:
             utilization = compute_utilization(pe_lin, t_rank, num_pes)
+        now = time.perf_counter()
+        stage["utilization"] += now - mark
+        mark = now
         if not utilization.is_injective:
             notes.append(
                 "dataflow is not injective: some spacetime stamps execute more than one "
@@ -990,6 +1032,23 @@ class EvaluationEngine:
                 lower = bound_fn(utilization, self.arch, floors)
                 if lower > best_score:
                     return lower
+
+        if relations is not None and self.memoize:
+            # Content-level dedup: a candidate whose (PE, rank) columns are
+            # array-identical to an evaluated one has the same report by
+            # construction, whatever its expressions look like.  Consulted
+            # *after* the lower-bound check so early termination makes exactly
+            # the pruning decisions the other backends (and a resumed sweep
+            # with a cold memo) would make.
+            memo_report = self.backend.spacetime_report(bound, pe_lin, t_rank)
+            if memo_report is not None:
+                self.stats["spacetime_hits"] += 1
+                return replace(
+                    memo_report,
+                    dataflow=bound.name,
+                    analysis_seconds=time.perf_counter() - started,
+                    notes=list(memo_report.notes),
+                )
 
         backend_metrics: dict[str, VolumeMetrics | None] = {}
         if relations is not None:
@@ -1038,6 +1097,9 @@ class EvaluationEngine:
                     element_extent=extent,
                 )
             volumes[tensor] = metrics
+        now = time.perf_counter()
+        stage["volumes"] += now - mark
+        mark = now
 
         latency = compute_latency(
             utilization,
@@ -1055,7 +1117,7 @@ class EvaluationEngine:
         )
 
         elapsed = time.perf_counter() - started
-        return PerformanceReport(
+        report = PerformanceReport(
             operation=self.op.name,
             dataflow=bound.name,
             architecture=self.arch.name,
@@ -1069,6 +1131,10 @@ class EvaluationEngine:
             analysis_seconds=elapsed,
             notes=notes,
         )
+        if relations is not None and self.memoize:
+            self.backend.spacetime_remember(bound, pe_lin, t_rank, report)
+        stage["rank"] += time.perf_counter() - mark
+        return report
 
     def _group_count_floors(
         self, pe_lin: np.ndarray, relations: OpRelations
@@ -1246,7 +1312,7 @@ class EvaluationEngine:
             # not poison the engine: drop the pool so the next batch rebuilds.
             self.close()
             raise
-        for worker_outcomes, worker_stats, worker_cache in results:
+        for worker_outcomes, worker_stats, worker_cache, worker_stages in results:
             for outcome in worker_outcomes:
                 outcomes[outcome.index] = outcome
             for key, value in worker_stats.items():
@@ -1257,7 +1323,33 @@ class EvaluationEngine:
             self.stats["worker_cache_misses"] = (
                 self.stats.get("worker_cache_misses", 0) + worker_cache["misses"]
             )
+            for key, value in worker_stages.items():
+                self.stage_seconds[key] = self.stage_seconds.get(key, 0.0) + value
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def _shared_descriptor(self):
+        """Share the cached relations for zero-copy worker mapping.
+
+        Built lazily (and rebuilt after ``close()``): the candidate-invariant
+        arrays travel through one ``/dev/shm`` segment instead of being
+        re-materialised privately by every worker.  ``None`` when the op is
+        uncacheable or shared memory is unavailable — workers then fall back
+        to materialising their own copy, exactly as before.
+        """
+        if self._shared_relations is not None and self._shared_relations.alive:
+            return self._shared_relations.descriptor
+        try:
+            relations = self.materializer.relations(self.max_instances)
+        except ModelError:
+            relations = None  # per-candidate evaluation reports the error
+        if relations is None:
+            return None
+        # None when shared memory is unavailable or /dev/shm cannot hold the
+        # arrays — workers then materialise privately, as before this seam.
+        self._shared_relations = share_relations(relations)
+        if self._shared_relations is None:
+            return None
+        return self._shared_relations.descriptor
 
     def _ensure_pool(self, jobs: int) -> ProcessPoolExecutor:
         """The persistent worker pool, (re)built when the job count changes
@@ -1279,7 +1371,7 @@ class EvaluationEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=jobs,
                 initializer=_sweep_worker_init,
-                initargs=(self.op, self.arch, payload_params),
+                initargs=(self.op, self.arch, payload_params, self._shared_descriptor()),
             )
             self._pool_jobs = jobs
         return self._pool
@@ -1289,13 +1381,28 @@ class EvaluationEngine:
 #: so the operation and its materialised relations are shipped/built once per
 #: worker instead of once per task.
 _WORKER_ENGINE: "EvaluationEngine | None" = None
-_WORKER_SNAPSHOT: tuple[dict[str, int], dict[str, int]] | None = None
+_WORKER_SNAPSHOT: tuple[dict[str, int], dict[str, int], dict[str, float]] | None = None
 
 
-def _sweep_worker_init(op: TensorOp, arch: ArchSpec, params: dict) -> None:
+def _sweep_worker_init(
+    op: TensorOp, arch: ArchSpec, params: dict, shared=None
+) -> None:
     global _WORKER_ENGINE, _WORKER_SNAPSHOT
     _WORKER_ENGINE = EvaluationEngine(op, arch, jobs=1, **params)
-    _WORKER_SNAPSHOT = (dict(_WORKER_ENGINE.stats), dict(_WORKER_ENGINE.cache.stats()))
+    if shared is not None:
+        # Map the parent's relation arrays zero-copy instead of enumerating
+        # the iteration domain again; the first relations() call below then
+        # hits the worker cache.
+        relations = attach_relations(shared)
+        if relations is not None:
+            _WORKER_ENGINE.cache.put(
+                (relations.signature, relations.chunk_size), relations
+            )
+    _WORKER_SNAPSHOT = (
+        dict(_WORKER_ENGINE.stats),
+        dict(_WORKER_ENGINE.cache.stats()),
+        dict(_WORKER_ENGINE.stage_seconds),
+    )
 
 
 def _sweep_worker_run(
@@ -1304,12 +1411,12 @@ def _sweep_worker_run(
     objective: str | None,
     early_termination: bool,
     best_score: float | None = None,
-) -> tuple[list[CandidateOutcome], dict[str, int], dict[str, int]]:
+) -> tuple[list[CandidateOutcome], dict[str, int], dict[str, int], dict[str, float]]:
     """Evaluate one task's candidates on the worker's persistent engine.
 
-    Returns the outcomes plus the engine's stat and relation-cache *deltas*
-    since the previous task, so the parent can aggregate counters across
-    workers without double counting.
+    Returns the outcomes plus the engine's stat, relation-cache and
+    stage-timing *deltas* since the previous task, so the parent can aggregate
+    counters across workers without double counting.
     """
     global _WORKER_SNAPSHOT
     engine = _WORKER_ENGINE
@@ -1319,10 +1426,16 @@ def _sweep_worker_run(
     )
     for outcome, index in zip(outcomes, indices):
         outcome.index = index
-    previous_stats, previous_cache = _WORKER_SNAPSHOT
+    previous_stats, previous_cache, previous_stages = _WORKER_SNAPSHOT
     stats = {key: value - previous_stats.get(key, 0) for key, value in engine.stats.items()}
     cache = {
         key: value - previous_cache.get(key, 0) for key, value in engine.cache.stats().items()
     }
-    _WORKER_SNAPSHOT = (dict(engine.stats), dict(engine.cache.stats()))
-    return outcomes, stats, cache
+    stages = {
+        key: value - previous_stages.get(key, 0.0)
+        for key, value in engine.stage_seconds.items()
+    }
+    _WORKER_SNAPSHOT = (
+        dict(engine.stats), dict(engine.cache.stats()), dict(engine.stage_seconds)
+    )
+    return outcomes, stats, cache, stages

@@ -1,0 +1,253 @@
+"""Zero-copy sharing of cached relations across sweep worker processes.
+
+``jobs > 1`` sweeps ship the operation to every worker once (the pool
+initializer), but each worker then *re-materialises* the candidate-invariant
+relation arrays — the iteration domain, the per-reference element keys and the
+densified footprints — privately.  For paper-scale operations that is both
+startup latency (each worker redoes the same enumeration) and N copies of
+read-only data.
+
+This module moves those arrays into one :class:`multiprocessing.shared_memory.
+SharedMemory` segment owned by the parent engine:
+
+* :func:`share_relations` packs every array of an :class:`~repro.core.engine.
+  OpRelations` into a single segment and returns a picklable
+  :class:`SharedRelationsDescriptor` (segment name + array table + the scalar
+  fields).
+* :func:`attach_relations` rebuilds the ``OpRelations`` in a worker with every
+  array a *read-only view* into the mapped segment — no copies, regardless of
+  how many workers attach.
+* :class:`SharedRelations` owns the segment lifecycle on the parent side:
+  ``close()`` unlinks it, and a module-level ``atexit`` registry unlinks any
+  segment that is still alive at interpreter exit, so a sweep that never calls
+  :meth:`EvaluationEngine.close` does not leak ``/dev/shm`` entries.
+
+Workers unregister their attachment from the ``resource_tracker`` (attaching
+registers a second owner on CPython < 3.13, which would double-unlink and spam
+warnings at exit); the parent remains the single owner.
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+try:  # pragma: no cover - absent on exotic platforms; sweeps degrade gracefully
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def shared_memory_available() -> bool:
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Location of one array inside the shared segment."""
+
+    offset: int
+    dtype: str
+    shape: tuple[int, ...]
+
+
+@dataclass
+class SharedRelationsDescriptor:
+    """Everything a worker needs to rebuild ``OpRelations`` zero-copy.
+
+    The descriptor is small and picklable: the segment name, one
+    :class:`_ArraySpec` per array, and the relations' scalar fields verbatim.
+    """
+
+    segment: str
+    signature: str
+    chunk_size: int
+    total: int
+    domain: dict[str, _ArraySpec] = field(default_factory=dict)
+    #: tensor -> (raw key specs, dense key spec, extent, footprint)
+    tensors: dict[str, tuple[list[_ArraySpec], _ArraySpec, int, int]] = field(
+        default_factory=dict
+    )
+    element_bounds: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    inclusive_bounds: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+
+#: Parent-side segments still alive, unlinked at interpreter exit.
+_LIVE_SEGMENTS: "weakref.WeakSet[SharedRelations]" = weakref.WeakSet()
+
+
+def _cleanup_live_segments() -> None:  # pragma: no cover - exercised via subprocess
+    for shared in list(_LIVE_SEGMENTS):
+        shared.close()
+
+
+atexit.register(_cleanup_live_segments)
+
+
+class SharedRelations:
+    """Parent-side owner of one shared relations segment."""
+
+    def __init__(self, shm, descriptor: SharedRelationsDescriptor):
+        self._shm = shm
+        self.descriptor = descriptor
+        _LIVE_SEGMENTS.add(self)
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.segment
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size if self._shm is not None else 0
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent; workers keep their mappings)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+    @property
+    def alive(self) -> bool:
+        return self._shm is not None
+
+    def __del__(self):  # pragma: no cover - best-effort backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _aligned(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+def share_relations(relations) -> SharedRelations | None:
+    """Copy an ``OpRelations``'s arrays into one shared segment.
+
+    Returns ``None`` when shared memory is unavailable on the platform; the
+    sweep then falls back to per-worker materialisation.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        return None
+
+    arrays: list[np.ndarray] = []
+    specs: list[_ArraySpec] = []
+    offset = 0
+
+    def register(array: np.ndarray) -> _ArraySpec:
+        nonlocal offset
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        spec = _ArraySpec(offset=offset, dtype=array.dtype.str, shape=array.shape)
+        arrays.append(array)
+        specs.append(spec)
+        offset += array.nbytes
+        return spec
+
+    descriptor = SharedRelationsDescriptor(
+        segment="",
+        signature=relations.signature,
+        chunk_size=relations.chunk_size,
+        total=relations.total,
+        element_bounds={
+            tensor: list(columns.bounds)
+            for tensor, columns in relations.element_bounds.items()
+        },
+        inclusive_bounds=dict(relations.inclusive_bounds),
+    )
+    for dim, array in relations.domain.items():
+        descriptor.domain[dim] = register(array)
+    for tensor, rel in relations.tensors.items():
+        raw_specs = [register(array) for array in rel.raw_keys]
+        dense_spec = register(rel.dense_keys)
+        descriptor.tensors[tensor] = (raw_specs, dense_spec, rel.extent, rel.footprint)
+
+    try:
+        shm = _shared_memory.SharedMemory(create=True, size=max(1, offset))
+    except OSError:
+        # /dev/shm too small (containers often cap it at 64 MB) or exhausted:
+        # degrade to per-worker materialisation instead of failing the sweep.
+        return None
+    descriptor.segment = shm.name
+    try:
+        for array, spec in zip(arrays, specs):
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+            )
+            view[...] = array
+    except OSError:  # pragma: no cover - overcommitted tmpfs surfacing late
+        shm.close()
+        try:
+            shm.unlink()
+        except OSError:
+            pass
+        return None
+    return SharedRelations(shm, descriptor)
+
+
+#: Worker-side mapped segments, keyed by name, kept alive while views exist.
+_ATTACHED: dict[str, object] = {}
+
+
+def attach_relations(descriptor: SharedRelationsDescriptor):
+    """Rebuild ``OpRelations`` from a shared segment with zero-copy views.
+
+    Returns ``None`` when the segment cannot be mapped (already unlinked, or
+    shared memory unavailable); the worker then materialises privately.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        return None
+    from repro.core.engine import OpRelations, TensorColumns, TensorRelations
+
+    shm = _ATTACHED.get(descriptor.segment)
+    if shm is None:
+        try:
+            # ``track=False`` (CPython >= 3.13) keeps the attachment out of
+            # the resource tracker entirely: the parent is the only owner.
+            # Earlier interpreters register the attachment too, which is
+            # harmless under fork (the shared tracker's registry is a set and
+            # the parent's unlink clears the name once).
+            try:
+                shm = _shared_memory.SharedMemory(name=descriptor.segment, track=False)
+            except TypeError:  # pragma: no cover - Python < 3.13
+                shm = _shared_memory.SharedMemory(name=descriptor.segment)
+        except (FileNotFoundError, OSError):
+            return None
+        _ATTACHED[descriptor.segment] = shm
+
+    def view(spec: _ArraySpec) -> np.ndarray:
+        array = np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset)
+        array.flags.writeable = False
+        return array
+
+    domain = {dim: view(spec) for dim, spec in descriptor.domain.items()}
+    tensors = {}
+    for tensor, (raw_specs, dense_spec, extent, footprint) in descriptor.tensors.items():
+        tensors[tensor] = TensorRelations(
+            raw_keys=[view(spec) for spec in raw_specs],
+            dense_keys=view(dense_spec),
+            extent=extent,
+            footprint=footprint,
+        )
+    return OpRelations(
+        signature=descriptor.signature,
+        chunk_size=descriptor.chunk_size,
+        total=descriptor.total,
+        domain=domain,
+        tensors=tensors,
+        element_bounds={
+            tensor: TensorColumns([tuple(b) for b in bounds])
+            for tensor, bounds in descriptor.element_bounds.items()
+        },
+        inclusive_bounds={
+            dim: tuple(bounds) for dim, bounds in descriptor.inclusive_bounds.items()
+        },
+    )

@@ -71,6 +71,7 @@ class DesignSpaceExplorer:
         early_termination: bool = False,
         checkpoint: str | None = None,
         resume: bool = False,
+        top_k: int | None = None,
     ) -> SweepSession:
         """A sweep session on this explorer's warm engine."""
         return SweepSession(
@@ -80,6 +81,7 @@ class DesignSpaceExplorer:
             early_termination=early_termination,
             checkpoint=checkpoint,
             resume=resume,
+            top_k=top_k,
         )
 
     def explore(
@@ -91,6 +93,7 @@ class DesignSpaceExplorer:
         shard: tuple[int, int] | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        top_k: int | None = None,
     ) -> ExplorationResult:
         """Sweep every candidate and return them ranked by the objective.
 
@@ -112,8 +115,13 @@ class DesignSpaceExplorer:
         ``shard=(i, n)`` sweeps only the deterministic ``i``-th of ``n``
         signature-hash partitions; ``checkpoint``/``resume`` persist and
         restore per-candidate results (see :mod:`repro.sweep`).
+
+        ``top_k`` bounds the in-memory ranking to the best ``k`` entries
+        (``result.evaluated`` stays empty; attach a checkpoint for the full
+        record).
         """
         session = self.session(
-            early_termination=early_termination, checkpoint=checkpoint, resume=resume
+            early_termination=early_termination, checkpoint=checkpoint,
+            resume=resume, top_k=top_k,
         )
         return session.run(candidates, shard=shard, dedupe=dedupe)

@@ -33,6 +33,7 @@ def run(
     shard: tuple[int, int] | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    top_k: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="dse-pruned-exploration",
@@ -47,7 +48,8 @@ def run(
         jobs=jobs,
         backend=backend,
         session_kwargs=dict(
-            early_termination=early_termination, checkpoint=checkpoint, resume=resume
+            early_termination=early_termination, checkpoint=checkpoint,
+            resume=resume, top_k=top_k,
         ),
     )
     source = CandidateSource(
@@ -70,7 +72,8 @@ def run(
     # Projection basis: wall-clock per *evaluated* candidate (as the paper
     # reports), not per processed candidate — pruned candidates are cheap, so
     # the processed-based throughput would understate the full-space time.
-    evaluated_count = max(1, len(exploration.evaluated))
+    # ``evaluated_count`` (not len(evaluated)) also covers bounded top_k runs.
+    evaluated_count = max(1, exploration.evaluated_count)
     seconds_per_candidate = exploration.seconds / evaluated_count
     projected_hours = seconds_per_candidate * paper_pruned_count() / 3600.0
     engine = session.engine

@@ -286,7 +286,7 @@ def result_record(request: SweepRequest, result: SweepResult, reused: bool) -> d
         "kernel": request.kernel,
         "objective": result.objective,
         "candidates": result.num_candidates,
-        "evaluated": len(result.evaluated),
+        "evaluated": result.evaluated_count,
         "invalid": len(result.failures),
         "pruned": len(result.pruned),
         "shard": list(result.shard) if result.shard else None,

@@ -33,7 +33,13 @@ from repro.core.engine import (
 )
 from repro.core.metrics import PerformanceReport
 from repro.errors import ExplorationError
-from repro.sweep.sinks import JsonlCheckpointSink, RankEntry, ResultSink, report_record
+from repro.sweep.sinks import (
+    JsonlCheckpointSink,
+    RankEntry,
+    ResultSink,
+    TopKSink,
+    report_record,
+)
 from repro.sweep.source import CandidateSource, signature_shard_index, validate_shard
 
 Objective = Callable[[PerformanceReport], float]
@@ -66,7 +72,12 @@ class SweepResult:
     """Outcome of one sweep (the former ``ExplorationResult``, extended)."""
 
     objective: str
+    #: Fully evaluated reports.  Empty when the sweep ran with ``top_k`` — a
+    #: bounded sweep deliberately retains only the ``ranking`` entries (the
+    #: JSONL checkpoint is the full record); ``evaluated_count`` always holds
+    #: the true number of evaluations.
     evaluated: list[PerformanceReport] = field(default_factory=list)
+    evaluated_count: int = 0
     failures: list[tuple[str, str]] = field(default_factory=list)
     #: Candidates skipped by early termination: (name, lower bound on score).
     pruned: list[tuple[str, float]] = field(default_factory=list)
@@ -77,9 +88,12 @@ class SweepResult:
     #: Candidates owned by other shards of a ``--shard i/n`` partition.
     sharded_out: int = 0
     shard: tuple[int, int] | None = None
+    #: Ranking bound of a ``top_k`` sweep (``None`` = unbounded).
+    top_k: int | None = None
     batches: int = 0
     seconds: float = 0.0
     #: Live + checkpoint-restored candidates, sorted by (score, name, signature).
+    #: Truncated to the ``top_k`` best when the sweep is bounded.
     ranking: list[RankEntry] = field(default_factory=list)
 
     @property
@@ -97,7 +111,7 @@ class SweepResult:
     @property
     def num_candidates(self) -> int:
         return (
-            len(self.evaluated)
+            self.evaluated_count
             + len(self.failures)
             + len(self.pruned)
             + self.duplicates
@@ -107,7 +121,7 @@ class SweepResult:
     @property
     def throughput(self) -> float:
         """Processed candidates per second (excluding resume skips)."""
-        processed = len(self.evaluated) + len(self.failures) + len(self.pruned)
+        processed = self.evaluated_count + len(self.failures) + len(self.pruned)
         return processed / self.seconds if self.seconds > 0 else 0.0
 
     def top(self, count: int = 5) -> list[PerformanceReport]:
@@ -156,6 +170,7 @@ class SweepSession:
         sinks: Sequence[ResultSink] | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        top_k: int | None = None,
     ):
         self.engine = engine
         self.objective_name, self.score, self.objective_key = resolve_objective(
@@ -164,6 +179,16 @@ class SweepSession:
         self.batch_size = max(1, int(batch_size))
         self.early_termination = bool(early_termination)
         self.sinks: list[ResultSink] = list(sinks or [])
+        #: Bounded-memory ranking: keep only the ``top_k`` best entries in
+        #: memory instead of every report.  The JSONL checkpoint (when
+        #: attached) remains the full per-candidate record.
+        self.top_k = int(top_k) if top_k is not None else None
+        if self.top_k is not None and self.top_k < 1:
+            raise ExplorationError(f"top_k must be positive, got {top_k}")
+        self.top_sink: TopKSink | None = None
+        if self.top_k is not None:
+            self.top_sink = TopKSink(self.top_k)
+            self.sinks.append(self.top_sink)
         self.checkpoint_sink: JsonlCheckpointSink | None = None
         if checkpoint is not None:
             if self.objective_key is None:
@@ -273,16 +298,18 @@ class SweepSession:
                     score: float | None = None
                     if outcome.report is not None:
                         score = float(self.score(outcome.report))
-                        result.evaluated.append(outcome.report)
-                        live.append(
-                            RankEntry(
-                                signature=outcome.signature,
-                                name=outcome.name,
-                                score=score,
-                                data=report_record(outcome.report),
-                                report=outcome.report,
+                        result.evaluated_count += 1
+                        if self.top_sink is None:
+                            result.evaluated.append(outcome.report)
+                            live.append(
+                                RankEntry(
+                                    signature=outcome.signature,
+                                    name=outcome.name,
+                                    score=score,
+                                    data=report_record(outcome.report),
+                                    report=outcome.report,
+                                )
                             )
-                        )
                         if best_score is None or score < best_score:
                             best_score = score
                     elif outcome.pruned:
@@ -321,9 +348,12 @@ class SweepSession:
                 sink.close()
 
         merged: dict[str, RankEntry] = {entry.signature: entry for entry in restored}
-        for entry in live:
+        for entry in (self.top_sink.top() if self.top_sink is not None else live):
             merged.setdefault(entry.signature, entry)
         result.ranking = sorted(merged.values(), key=lambda entry: entry.sort_key)
+        if self.top_sink is not None:
+            result.top_k = self.top_k
+            del result.ranking[self.top_k:]
         result.evaluated.sort(key=lambda report: (self.score(report), report.dataflow))
         result.seconds = time.perf_counter() - started
         return result

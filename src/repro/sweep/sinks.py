@@ -80,11 +80,20 @@ class ResultSink:
 
 
 class TopKSink(ResultSink):
-    """Keep the best ``k`` fully evaluated candidates in memory."""
+    """Keep the best ``k`` fully evaluated candidates in memory.
+
+    Attached by ``SweepSession(top_k=...)`` so a paper-scale sweep's memory
+    stays bounded by ``k`` entries instead of one report per candidate; a
+    checkpoint sink on the same session still records every outcome.
+    """
 
     def __init__(self, k: int = 10):
         self.k = int(k)
         self.entries: list[RankEntry] = []
+
+    def open(self, meta: dict) -> None:
+        # A session can run several sweeps; each starts from an empty board.
+        self.entries = []
 
     def emit(self, outcome: CandidateOutcome, score: float | None) -> None:
         if outcome.report is None or score is None:

@@ -12,7 +12,12 @@ from repro.core.backends.affine import (
     build_group_layout,
     lower_expr,
 )
-from repro.core.engine import EvaluationEngine, RelationCache, RelationMaterializer
+from repro.core.engine import (
+    EvaluationEngine,
+    RelationCache,
+    RelationMaterializer,
+    dataflow_signature,
+)
 from repro.dse.pruning import pruned_candidates
 from repro.errors import DataflowError, ExplorationError
 from repro.experiments.common import make_arch
@@ -117,7 +122,7 @@ class TestExprLowering:
 
 
 class TestBackendStamps:
-    @pytest.mark.parametrize("backend", ["affine", "bitset", "auto"])
+    @pytest.mark.parametrize("backend", ["affine", "bitset", "fused", "auto"])
     def test_stamps_match_interpreter(self, backend):
         op = gemm(16, 16, 16)
         arch = make_arch(pe_dims=(4, 4))
@@ -210,7 +215,7 @@ class TestBackendReports:
         lambda: conv2d(6, 6, 5, 5, 3, 3),
     ], ids=["gemm", "conv2d"])
     @pytest.mark.parametrize("interconnect", ["2d-systolic", "mesh", "multicast"])
-    @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "auto"])
+    @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "fused", "auto"])
     def test_backend_reports_equal_analyzer(self, make_op, interconnect, backend):
         op = make_op()
         arch = make_arch(pe_dims=(4, 4), interconnect=interconnect)
@@ -219,7 +224,7 @@ class TestBackendReports:
             reference = TenetAnalyzer(op, candidate, arch).analyze()
             assert report_dict(reference) == report_dict(engine.evaluate(candidate))
 
-    @pytest.mark.parametrize("backend", ["affine", "bitset", "auto"])
+    @pytest.mark.parametrize("backend", ["affine", "bitset", "fused", "auto"])
     def test_nested_quasi_reports_equal_analyzer(self, backend):
         op = gemm(16, 16, 16)
         arch = make_arch(pe_dims=(4, 4))
@@ -228,7 +233,7 @@ class TestBackendReports:
         engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
         assert report_dict(reference) == report_dict(engine.evaluate(candidate))
 
-    @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "auto"])
+    @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "fused", "auto"])
     def test_non_injective_reports_equal_analyzer(self, backend):
         op = gemm(8, 8, 8)
         arch = make_arch(pe_dims=(4, 4))
@@ -340,6 +345,157 @@ class TestLayout:
         }
         # One layout per (space signature, tensor), not per candidate.
         assert len(engine.backend._layout_memo) <= len(distinct_pe_signatures) * 3
+
+
+class TestFusedBackend:
+    def test_fused_kernel_engages_on_uniform_layouts(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4), interconnect="2d-systolic")
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="fused")
+        reference = EvaluationEngine(op, arch, cache=RelationCache(), backend="interp")
+        for candidate in small_candidates(op):
+            assert report_dict(reference.evaluate(candidate)) == report_dict(
+                engine.evaluate(candidate)
+            )
+        assert engine.stats["fused_path"] > 0
+        assert engine.stats["compiled_path"] == 0
+
+    def test_fused_splits_mixed_reference_layouts_between_kernels(self):
+        # jacobi2d mixes per-tensor layouts: the multi-reference stencil input
+        # cannot use the fused kernel (it needs collapsed single-reference
+        # blocks) and must chain to the affine kernels, while the
+        # single-reference output still fuses — bit-identically either way.
+        from repro.tensor.kernels import jacobi2d
+
+        op = jacobi2d(10, 10)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="fused")
+        reference = EvaluationEngine(op, arch, cache=RelationCache(), backend="interp")
+        for candidate in small_candidates(op, count=3):
+            assert report_dict(reference.evaluate(candidate)) == report_dict(
+                engine.evaluate(candidate)
+            )
+        assert engine.stats["fused_path"] > 0
+        assert engine.stats["compiled_path"] + engine.stats["reference_path"] > 0
+
+    def test_fused_wide_interval_falls_back_to_reference(self):
+        op = gemm(12, 12, 12)
+        arch = make_arch(pe_dims=(4, 4))
+        candidate = small_candidates(op)[0]
+        reference = TenetAnalyzer(op, candidate, arch, temporal_interval=11).analyze()
+        engine = EvaluationEngine(
+            op, arch, cache=RelationCache(), backend="fused", temporal_interval=11
+        )
+        assert report_dict(reference) == report_dict(engine.evaluate(candidate))
+        assert engine.stats["fused_path"] == 0
+
+    def test_spacetime_memo_replays_identical_stamp_content(self):
+        # Shifting every time expression by a constant changes the structural
+        # signature but not the rank order, so the second candidate's report
+        # must come from the spacetime memo, renamed but otherwise identical.
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        i, j, k = (var(dim) for dim in op.loop_dims)
+        base = Dataflow.from_exprs(
+            "base", op.domain.space, [i % 4, j % 4], [k, i // 4, j // 4]
+        )
+        shifted = Dataflow.from_exprs(
+            "shifted", op.domain.space, [i % 4, j % 4], [k + 3, i // 4, j // 4]
+        )
+        assert dataflow_signature(base) != dataflow_signature(shifted)
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="fused")
+        first = engine.evaluate(base)
+        second = engine.evaluate(shifted)
+        assert engine.stats["spacetime_hits"] == 1
+        assert second.dataflow == "shifted"
+        a, b = report_dict(first), report_dict(second)
+        assert a.pop("dataflow") == "base" and b.pop("dataflow") == "shifted"
+        assert a == b
+        # The replayed report is still bit-identical to a fresh analysis.
+        fresh = TenetAnalyzer(op, shifted, arch).analyze()
+        c = report_dict(fresh)
+        c.pop("dataflow")
+        assert b == c
+
+    def test_spacetime_memo_does_not_override_pruning(self):
+        # Under early termination the memo is consulted only *after* the
+        # lower-bound check: a candidate whose bound already loses must be
+        # recorded as pruned (as interp/affine would), never replayed as a
+        # report just because its spacetime map was evaluated earlier.
+        op = gemm(8, 8, 8)
+        arch = make_arch(pe_dims=(4, 4))
+        i, j, k = (var(dim) for dim in op.loop_dims)
+        serial = Dataflow.from_exprs(
+            "serial", op.domain.space, [i % 4, j % 4], [i, j, k]
+        )
+        serial_twin = Dataflow.from_exprs(
+            "serial-twin", op.domain.space, [i % 4, j % 4], [i, j, k + 1]
+        )
+        fast = Dataflow.from_exprs(
+            "fast", op.domain.space, [i % 4, j % 4], [k, i // 4, j // 4]
+        )
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="fused")
+        batch = engine.evaluate_batch(
+            [serial, fast, serial_twin],
+            objective="latency", early_termination=True,
+        )
+        by_name = {outcome.name: outcome for outcome in batch.outcomes}
+        assert by_name["serial"].report is not None
+        assert by_name["fast"].report is not None
+        # The twin shares serial's exact spacetime map (memoised), but its
+        # compute-delay bound exceeds fast's latency: pruned, not replayed.
+        assert by_name["serial-twin"].pruned
+        assert engine.stats["spacetime_hits"] == 0
+
+    def test_spacetime_memo_skipped_under_validation(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        i, j, k = (var(dim) for dim in op.loop_dims)
+        base = Dataflow.from_exprs(
+            "base", op.domain.space, [i % 4, j % 4], [k, i // 4, j // 4]
+        )
+        shifted = Dataflow.from_exprs(
+            "shifted", op.domain.space, [i % 4, j % 4], [k + 3, i // 4, j // 4]
+        )
+        engine = EvaluationEngine(
+            op, arch, cache=RelationCache(), backend="fused", validate=True
+        )
+        engine.evaluate(base)
+        engine.evaluate(shifted)
+        assert engine.stats["spacetime_hits"] == 0
+
+    def test_fused_batch_matches_analyzer_across_interconnects(self):
+        op = gemm(16, 16, 16)
+        for interconnect in ("2d-systolic", "mesh", "multicast"):
+            arch = make_arch(pe_dims=(4, 4), interconnect=interconnect)
+            candidates = small_candidates(op, count=6)
+            engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="fused")
+            batch = engine.evaluate_batch(candidates)
+            assert len(batch.reports) == len(candidates)
+            for candidate, report in zip(candidates, batch.reports):
+                reference = TenetAnalyzer(op, candidate, arch).analyze()
+                assert report_dict(reference) == report_dict(report)
+
+    def test_fused_provider_stacks_whole_batch_into_one_window(self):
+        op = gemm(16, 16, 16)
+        arch = make_arch(pe_dims=(4, 4))
+        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend="fused")
+        relations = engine.materializer.relations(10**7)
+        candidates = small_candidates(op, count=12)
+        provider = engine.backend.prepare_batch(relations, candidates, arch.pe_array)
+        provider._ensure_window(0)
+        # One stacked evaluation covers every candidate: the affine provider
+        # would have split this batch into several matmul windows.
+        assert provider._window == (0, len(candidates))
+
+    def test_auto_is_fused_with_bitset(self):
+        from repro.core.backends import FusedBackend
+
+        op = gemm(8, 8, 8)
+        engine = EvaluationEngine(op, make_arch(pe_dims=(4, 4)), backend="auto")
+        assert isinstance(engine.backend, FusedBackend)
+        assert engine.backend.bitset_mode == "auto"
+        assert engine.backend.name == "auto"
 
 
 class TestRegistry:

@@ -1,0 +1,195 @@
+"""Shared-memory relation lifecycle tests (repro.core.shm).
+
+The ``jobs > 1`` sweep workers map the candidate-invariant relation arrays
+from one parent-owned shared segment.  These tests pin the contract:
+
+* the round trip is exact and zero-copy (views into the mapped buffer),
+* ``EvaluationEngine.close()`` unlinks the segment,
+* a ``BrokenProcessPool`` rebuild replaces (not leaks) the segment,
+* interpreter exit without ``close()`` leaves no ``/dev/shm`` entry behind.
+"""
+
+import glob
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EvaluationEngine, RelationCache
+from repro.core.shm import attach_relations, share_relations, shared_memory_available
+from repro.dse.pruning import pruned_candidates
+from repro.experiments.common import make_arch
+from repro.tensor.kernels import gemm
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+def shm_entries():
+    return set(glob.glob("/dev/shm/psm_*")) if HAS_DEV_SHM else set()
+
+
+def make_relations(op=None):
+    op = op or gemm(12, 12, 12)
+    engine = EvaluationEngine(op, make_arch(pe_dims=(4, 4)), cache=RelationCache())
+    return engine.materializer.relations(10**7)
+
+
+class TestRoundTrip:
+    def test_attach_rebuilds_identical_relations(self):
+        relations = make_relations()
+        shared = share_relations(relations)
+        try:
+            attached = attach_relations(shared.descriptor)
+            assert attached is not None
+            assert attached.signature == relations.signature
+            assert attached.chunk_size == relations.chunk_size
+            assert attached.total == relations.total
+            assert attached.inclusive_bounds == relations.inclusive_bounds
+            for dim, column in relations.domain.items():
+                np.testing.assert_array_equal(attached.domain[dim], column)
+            for tensor, rel in relations.tensors.items():
+                other = attached.tensors[tensor]
+                assert other.extent == rel.extent
+                assert other.footprint == rel.footprint
+                np.testing.assert_array_equal(other.dense_keys, rel.dense_keys)
+                for mine, theirs in zip(rel.raw_keys, other.raw_keys):
+                    np.testing.assert_array_equal(theirs, mine)
+                assert [c for c in attached.element_bounds[tensor].bounds] == [
+                    tuple(b) for b in relations.element_bounds[tensor].bounds
+                ]
+        finally:
+            shared.close()
+
+    def test_attached_arrays_are_readonly_views_not_copies(self):
+        relations = make_relations()
+        shared = share_relations(relations)
+        try:
+            attached = attach_relations(shared.descriptor)
+            column = next(iter(attached.domain.values()))
+            assert not column.flags.writeable
+            with pytest.raises(ValueError):
+                column[0] = 99
+            # The view's memory is the mapped segment, not a private copy.
+            assert column.base is not None
+        finally:
+            shared.close()
+
+    def test_attach_after_unlink_returns_none(self):
+        relations = make_relations()
+        shared = share_relations(relations)
+        descriptor = shared.descriptor
+        shared.close()
+        import repro.core.shm as shm_module
+
+        shm_module._ATTACHED.pop(descriptor.segment, None)
+        assert attach_relations(descriptor) is None
+
+    def test_close_is_idempotent(self):
+        shared = share_relations(make_relations())
+        assert shared.alive
+        shared.close()
+        assert not shared.alive
+        shared.close()
+
+
+@pytest.mark.skipif(not HAS_DEV_SHM, reason="needs a POSIX /dev/shm")
+class TestEngineLifecycle:
+    def test_engine_close_unlinks_segment(self):
+        before = shm_entries()
+        op = gemm(12, 12, 12)
+        engine = EvaluationEngine(
+            op, make_arch(pe_dims=(4, 4)), jobs=2, cache=RelationCache()
+        )
+        candidates = list(pruned_candidates(op, pe_dims=(4, 4), max_candidates=8))
+        engine.evaluate_batch(candidates)
+        created = shm_entries() - before
+        assert len(created) == 1
+        assert engine.cache_stats()["worker_misses"] == 0
+        engine.close()
+        assert not (shm_entries() - before)
+
+    def test_broken_pool_rebuild_replaces_segment(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        before = shm_entries()
+        op = gemm(12, 12, 12)
+        engine = EvaluationEngine(
+            op, make_arch(pe_dims=(4, 4)), jobs=2, cache=RelationCache()
+        )
+        candidates = list(pruned_candidates(op, pe_dims=(4, 4), max_candidates=8))
+        try:
+            reference = engine.evaluate_batch(candidates)
+            first = shm_entries() - before
+
+            # Kill a worker process out from under the pool.  Depending on
+            # when the executor's management thread notices the dead worker,
+            # the next batch either surfaces BrokenProcessPool (crash seen
+            # mid-batch; the engine tears down pool and segment) or succeeds
+            # on a transparently rebuilt pool (_ensure_pool saw the broken
+            # flag first).  Both must leave a fresh working segment behind.
+            engine._pool.submit(os._exit, 1)
+            import time
+
+            deadline = time.time() + 10
+            while not getattr(engine._pool, "_broken", False) and time.time() < deadline:
+                time.sleep(0.01)
+            try:
+                engine.evaluate_batch(candidates)
+            except BrokenProcessPool:
+                # Crash-safe unlink: nothing left behind before the rebuild.
+                assert not (shm_entries() - before)
+
+            rebuilt = engine.evaluate_batch(candidates)
+            second = shm_entries() - before
+            assert len(second) == 1 and second != first
+            assert len(rebuilt.reports) == len(reference.reports)
+            for a, b in zip(reference.reports, rebuilt.reports):
+                da, db = a.as_dict(), b.as_dict()
+                da.pop("analysis_seconds"), db.pop("analysis_seconds")
+                assert da == db
+        finally:
+            engine.close()
+        assert not (shm_entries() - before)
+
+    def test_interpreter_exit_unlinks_segment(self, tmp_path):
+        """A sweep that never calls close() must not leak /dev/shm entries."""
+        script = textwrap.dedent(
+            """
+            import glob, sys
+            from repro.core.engine import EvaluationEngine, RelationCache
+            from repro.dse.pruning import pruned_candidates
+            from repro.experiments.common import make_arch
+            from repro.tensor.kernels import gemm
+
+            op = gemm(12, 12, 12)
+            engine = EvaluationEngine(
+                op, make_arch(pe_dims=(4, 4)), jobs=2, cache=RelationCache()
+            )
+            candidates = list(pruned_candidates(op, pe_dims=(4, 4), max_candidates=6))
+            engine.evaluate_batch(candidates)
+            segment = engine._shared_relations.name
+            print(segment)
+            # Exit without engine.close(): the atexit backstop must unlink.
+            """
+        )
+        env = dict(os.environ)
+        root = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(root) + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env=env, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        segment = result.stdout.strip().splitlines()[-1]
+        assert segment
+        assert not os.path.exists(f"/dev/shm/{segment}"), (
+            f"interpreter exit leaked {segment}"
+        )
+        assert "Traceback" not in result.stderr, result.stderr

@@ -296,6 +296,58 @@ class TestSweepSession:
             e.signature for e in result.ranking[:3]
         ]
 
+    def test_top_k_session_bounds_memory_and_preserves_ranking(self):
+        op = make_op()
+        unbounded = make_session(op).run(make_source(op, count=12))
+        bounded = make_session(op, top_k=3).run(make_source(op, count=12))
+        # Identical best-3 ranking, but no report list retained.
+        assert ranking_key(bounded) == ranking_key(unbounded.ranking[:3])
+        assert bounded.top_k == 3
+        assert bounded.evaluated == []
+        assert bounded.evaluated_count == len(unbounded.evaluated)
+        assert bounded.num_candidates == unbounded.num_candidates
+        assert bounded.throughput > 0
+        assert bounded.best.dataflow == unbounded.best.dataflow
+        assert "objective = latency" in bounded.summary()
+
+    def test_top_k_with_checkpoint_keeps_full_record(self, tmp_path):
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        result = make_session(op, top_k=2, checkpoint=str(checkpoint)).run(
+            make_source(op, count=8)
+        )
+        assert len(result.ranking) <= 2
+        # The JSONL record still holds *every* evaluated candidate.
+        records = [json.loads(line) for line in checkpoint.read_text().splitlines()]
+        ok_records = [r for r in records if r.get("status") == "ok"]
+        assert len(ok_records) == result.evaluated_count > 2
+        # And merging the checkpoint reproduces the unbounded ranking head.
+        full = load_ranking(checkpoint)
+        assert ranking_key(result) == ranking_key(full[:2])
+
+    def test_top_k_resume_merges_restored_entries(self, tmp_path):
+        op = make_op()
+        checkpoint = tmp_path / "sweep.jsonl"
+        clean = make_session(op).run(make_source(op, count=10))
+        make_session(op, checkpoint=str(checkpoint)).run(make_source(op, count=10))
+        resumed = make_session(
+            op, top_k=4, checkpoint=str(checkpoint), resume=True
+        ).run(make_source(op, count=10))
+        assert resumed.skipped == 10
+        assert ranking_key(resumed) == ranking_key(clean.ranking[:4])
+
+    def test_top_k_session_reusable_across_runs(self):
+        op = make_op()
+        session = make_session(op, top_k=2)
+        first = session.run(make_source(op, count=6))
+        second = session.run(make_source(op, count=6))
+        assert ranking_key(first) == ranking_key(second)
+        assert second.evaluated_count == first.evaluated_count
+
+    def test_top_k_rejects_non_positive(self):
+        with pytest.raises(ExplorationError, match="top_k"):
+            make_session(make_op(), top_k=0)
+
     def test_callable_objective(self):
         op = make_op()
         result = make_session(op, objective=lambda r: r.energy.total_pj).run(

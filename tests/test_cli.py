@@ -44,6 +44,30 @@ class TestParser:
         assert "objective = latency" in output
         assert "engine:" in output
 
+    def test_explore_fused_backend_with_profile(self, capsys):
+        code = main([
+            "explore", "--kernel", "gemm", "--sizes", "12", "12", "12",
+            "--max-candidates", "6", "--backend", "fused", "--top", "3",
+            "--profile",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "objective = latency" in output
+        assert "backend=fused" in output
+        assert "profile (per-stage wall clock" in output
+        for stage in ("stamps", "volumes"):
+            assert stage in output
+
+    def test_explore_top_bounds_ranking(self, capsys):
+        code = main([
+            "explore", "--kernel", "gemm", "--sizes", "12", "12", "12",
+            "--max-candidates", "8", "--top", "2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        # Exactly two ranked lines (" 1." and " 2."), nothing beyond the bound.
+        assert "  1. " in output and "  2. " in output and "  3. " not in output
+
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 0
         assert "tenet" in capsys.readouterr().out
