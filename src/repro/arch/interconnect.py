@@ -20,8 +20,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Mapping
-
 from repro.errors import ArchitectureError
 from repro.isl.constraint import Constraint
 from repro.isl.expr import var

@@ -12,7 +12,6 @@ from repro.arch.interconnect import (
     Mesh,
     Multicast1D,
     ReductionTree,
-    Systolic1D,
     Systolic2D,
 )
 from repro.arch.memory import MemoryHierarchy

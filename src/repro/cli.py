@@ -11,6 +11,7 @@ Examples::
         --checkpoint shard0.jsonl
     tenet sweep-merge shard0.jsonl shard1.jsonl --top 5
     echo '{"kernel": "gemm", "sizes": [32, 32, 32]}' | tenet serve
+    tenet serve --listen 127.0.0.1:7077 --workers 4
     tenet experiment fig1 design-space table3
     tenet experiment --list
 """
@@ -43,7 +44,15 @@ from repro.experiments import (
     table3_notations,
 )
 from repro.experiments.common import make_arch
-from repro.sweep import load_ranking, parse_shard, render_ranking, serve_lines
+from repro.sweep import (
+    iter_lines,
+    load_ranking,
+    parse_listen,
+    parse_shard,
+    render_ranking,
+    run_tcp_server,
+    serve_lines,
+)
 from repro.tensor.kernels import make_kernel
 
 EXPERIMENTS: dict[str, Callable[[], object]] = {
@@ -156,21 +165,47 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    if args.requests == "-":
-        lines = sys.stdin
-    else:
-        lines = open(args.requests, "r", encoding="utf-8")
-    try:
-        served = serve_lines(
-            lines,
+    if args.listen is not None:
+        host, port = parse_listen(args.listen)
+
+        def announce(bound_host: str, bound_port: int) -> None:
+            # Parsed by clients and the CI smoke script to discover an
+            # ephemeral (port 0) bind; keep the format stable.
+            print(f"tenet serve: listening on {bound_host}:{bound_port}",
+                  file=sys.stderr, flush=True)
+
+        served = run_tcp_server(
+            host,
+            port,
             jobs=args.jobs,
             backend=args.backend,
             batch_size=args.batch_size,
             max_workers=args.workers,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            announce=announce,
+        )
+        print(f"served {served} sweep request(s)", file=sys.stderr)
+        return 0
+    if args.requests == "-":
+        stream = sys.stdin
+    else:
+        stream = open(args.requests, "r", encoding="utf-8")
+    try:
+        # readline-based iteration: responses stream per line and a final
+        # unterminated request line is still served (torn-line tolerance).
+        served = serve_lines(
+            iter_lines(stream),
+            jobs=args.jobs,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            max_workers=args.workers,
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
         )
     finally:
-        if lines is not sys.stdin:
-            lines.close()
+        if stream is not sys.stdin:
+            stream.close()
     print(f"served {served} sweep request(s)", file=sys.stderr)
     return 0
 
@@ -280,10 +315,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--requests", default="-", metavar="PATH",
                        help="file with one JSON sweep request per line ('-' = stdin)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve the same line protocol over TCP instead of "
+                            "stdio (port 0 = ephemeral; the bound address is "
+                            "printed to stderr; SIGTERM drains gracefully)")
     serve.add_argument("--jobs", type=int, default=1,
                        help="worker processes per engine")
     serve.add_argument("--workers", type=int, default=2,
                        help="concurrent sweep requests (thread pool size)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="sweeps admitted concurrently across all client "
+                            "connections (default: --workers)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="queued requests per connection before the server "
+                            "replies with a structured overload error")
     serve.add_argument("--backend", default="auto", choices=list(BACKEND_NAMES))
     serve.add_argument("--batch-size", type=int, default=64)
     serve.set_defaults(handler=_cmd_serve)

@@ -37,7 +37,6 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -48,9 +47,6 @@ from repro.core.backends.affine import (
     _evict_lru,
 )
 from repro.core.volumes import VolumeMetrics
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.engine import OpRelations
 
 #: One fused stamp matmul may produce up to this many result cells before the
 #: provider splits the batch into several stacked evaluations.  The budget

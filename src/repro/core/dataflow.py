@@ -23,7 +23,6 @@ from repro.errors import DataflowError, SpaceError
 from repro.isl.enumeration import chunk_length
 from repro.isl.expr import AffExpr
 from repro.isl.imap import IntMap
-from repro.isl.iset import IntSet
 from repro.isl.parser import parse_expr, parse_map
 from repro.isl.space import Space
 from repro.arch.pe_array import PEArray

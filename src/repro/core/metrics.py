@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
-
 from repro.core.bandwidth import BandwidthReport
 from repro.core.energy_model import EnergyBreakdown
 from repro.core.latency import LatencyBreakdown

@@ -8,7 +8,7 @@ size, whether the dataflow is expressible in the data-centric notation (the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.core.dataflow import Dataflow
 from repro.dataflows import conv2d, gemm, jacobi, mmc, mttkrp

@@ -19,12 +19,11 @@ the remaining dimensions as outer time-stamp axes.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.core.dataflow import Dataflow
 from repro.core.engine import dataflow_signature
 from repro.isl.expr import AffExpr, var
-from repro.isl.space import Space
 from repro.tensor.operation import TensorOp
 
 

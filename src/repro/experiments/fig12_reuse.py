@@ -12,7 +12,7 @@ layers show the characteristic drop in input reuse.
 from __future__ import annotations
 
 from repro.core.analyzer import analyze
-from repro.dataflows.conv2d import kc_p_nvdla, oyox_p_shidiannao, ryoy_p_eyeriss
+from repro.dataflows.conv2d import oyox_p_shidiannao, ryoy_p_eyeriss
 from repro.experiments.common import ExperimentResult, make_arch, scaled_layer_op
 from repro.maestro.directives import DataCentricMapping, SpatialMap, TemporalMap
 from repro.maestro.model import MaestroModel

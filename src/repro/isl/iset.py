@@ -8,7 +8,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import SpaceError, UnboundedSetError
-from repro.isl.constraint import EQ, GE, Constraint
+from repro.isl.constraint import EQ, Constraint
 from repro.isl.enumeration import (
     DEFAULT_CHUNK,
     chunk_length,

@@ -15,7 +15,7 @@ Figure 1(b) and the right-hand column of Table III use exactly this syntax.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.errors import ModelError
 

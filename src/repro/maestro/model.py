@@ -24,8 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ModelError
-from repro.maestro.directives import Cluster, DataCentricMapping, SpatialMap, TemporalMap
-from repro.tensor.access import AccessMode
+from repro.maestro.directives import DataCentricMapping, SpatialMap, TemporalMap
 from repro.tensor.operation import TensorOp
 
 

@@ -21,7 +21,6 @@ comparison.
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 
 import numpy as np
@@ -33,7 +32,6 @@ from repro.sim.noc import NocModel
 from repro.sim.pe import PERegisterFile
 from repro.sim.scratchpad import ScratchpadModel
 from repro.sim.trace import SimulationResult, StepRecord
-from repro.tensor.access import AccessMode
 from repro.tensor.operation import TensorOp
 
 

@@ -13,9 +13,13 @@ caller (explorer, experiment drivers, CLI) into four shared pieces:
   every outcome to pluggable sinks.
 * :mod:`repro.sweep.sinks` — :class:`TopKSink` and
   :class:`JsonlCheckpointSink` (durable checkpoints, resume, shard merge).
-* :mod:`repro.sweep.server` — :class:`SweepServer` and the ``tenet serve``
-  loop: one warm engine + relation cache per operation, queued requests
-  serviced concurrently.
+* :mod:`repro.sweep.server` — :class:`SweepServer`: one warm engine +
+  relation cache per operation, queued requests serviced concurrently.
+* :mod:`repro.sweep.net` — :class:`SweepService`: the ``tenet serve`` line
+  protocol over TCP *and* stdio (one shared connection handler), with
+  round-robin multi-tenant fairness, backpressure, and graceful drain.
+* :mod:`repro.sweep.client` — :class:`SweepClient`: a small blocking client
+  for the networked service (round trips, pipelining, reconnect retry).
 """
 
 from repro.sweep.source import (
@@ -34,7 +38,15 @@ from repro.sweep.sinks import (
     report_record,
 )
 from repro.sweep.session import SweepResult, SweepSession
-from repro.sweep.server import SweepRequest, SweepServer, serve_lines
+from repro.sweep.server import SweepRequest, SweepServer
+from repro.sweep.net import (
+    SweepService,
+    iter_lines,
+    parse_listen,
+    run_tcp_server,
+    serve_lines,
+)
+from repro.sweep.client import SweepClient
 
 __all__ = [
     "CandidateSource",
@@ -52,5 +64,10 @@ __all__ = [
     "SweepResult",
     "SweepRequest",
     "SweepServer",
+    "SweepService",
+    "SweepClient",
     "serve_lines",
+    "run_tcp_server",
+    "iter_lines",
+    "parse_listen",
 ]

@@ -1,0 +1,216 @@
+"""Blocking Python client for the networked sweep service.
+
+:class:`SweepClient` speaks the ``tenet serve`` line protocol over TCP: one
+JSON request per line, one JSON response per line, per-connection responses
+in request order.
+
+Two usage shapes:
+
+* **Blocking round trips** — :meth:`sweep` / :meth:`stats` /
+  :meth:`request` send one request and wait for its response.  When the
+  connection is idle (no pipelined responses outstanding) a broken socket is
+  transparently reconnected and the request retried once.
+* **Pipelining** — :meth:`submit` sends a request tagged with an ``"id"``
+  without waiting; :meth:`recv` / :meth:`drain` collect the responses in
+  request order and verify the echoed ids.  The server schedules connections
+  round-robin, so pipelining deeply never starves other clients — expect
+  ``"code": "overloaded"`` replies past the server's per-connection queue
+  depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from collections import deque
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExplorationError
+
+
+class SweepClient:
+    """A small blocking client for ``tenet serve --listen HOST:PORT``."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = 120.0,
+        reconnect_retries: int = 1,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        #: Reconnect-and-resend attempts for idle blocking requests.
+        self.reconnect_retries = max(0, int(reconnect_retries))
+        self._sock: socket.socket | None = None
+        self._reader: Any = None
+        self._pending: deque[Any] = deque()
+        self._auto_ids = itertools.count(1)
+
+    # -- connection lifecycle -----------------------------------------------------
+
+    def connect(self) -> "SweepClient":
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+            sock.settimeout(self.timeout)
+            self._sock = sock
+            self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        for closeable in (reader, sock):
+            if closeable is not None:
+                try:
+                    closeable.close()
+                except OSError:
+                    pass
+        self._pending.clear()
+
+    def __enter__(self) -> "SweepClient":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    @property
+    def pending(self) -> int:
+        """Pipelined requests whose responses have not been read yet."""
+        return len(self._pending)
+
+    # -- wire helpers -------------------------------------------------------------
+
+    def _send_line(self, payload: dict) -> None:
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+
+    def _read_record(self) -> dict:
+        assert self._reader is not None, "not connected"
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("sweep service closed the connection")
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ExplorationError(f"malformed response line from server: {line!r}")
+        return record
+
+    # -- blocking round trips -----------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One blocking request/response round trip; returns the raw record.
+
+        Retries once over a fresh connection when the socket broke while the
+        connection was idle.  With pipelined responses outstanding a retry
+        would desynchronise the stream, so it raises instead.
+        """
+        if self._pending:
+            raise ExplorationError(
+                f"{self._pending[0]!r} and {len(self._pending) - 1} more pipelined "
+                "responses are outstanding; drain() them before a blocking request"
+            )
+        last_error: Exception | None = None
+        for attempt in range(self.reconnect_retries + 1):
+            if attempt:
+                self.close()
+            try:
+                self._send_line(payload)
+                return self._read_record()
+            except TimeoutError as error:
+                # A slow sweep is not a dead server: resending would run it
+                # twice and still time out.  Surface the timeout distinctly.
+                self.close()
+                raise ExplorationError(
+                    f"sweep service at {self.host}:{self.port} did not answer "
+                    f"within timeout={self.timeout}s (the request may still "
+                    "be running server-side; raise the client timeout)"
+                ) from error
+            except (ConnectionError, OSError) as error:
+                self.close()
+                last_error = error
+        raise ExplorationError(
+            f"sweep service at {self.host}:{self.port} unreachable "
+            f"after {self.reconnect_retries + 1} attempt(s): {last_error}"
+        ) from last_error
+
+    def sweep(self, kernel: str, sizes: Sequence[int], **fields: Any) -> dict:
+        """Run one sweep request and return its result record.
+
+        Keyword fields pass straight into the request line (``objective``,
+        ``pe``, ``max_candidates``, ``shard``, ``top`` ...).  Raises
+        :class:`ExplorationError` when the server replies with an error
+        record; the structured reply stays available as ``error.record``.
+        """
+        payload = {"kernel": kernel, "sizes": [int(s) for s in sizes], **fields}
+        record = self.request(payload)
+        if "error" in record:
+            error = ExplorationError(
+                f"server rejected sweep request: {record['error']}"
+                + (f" (code={record['code']})" if "code" in record else "")
+            )
+            error.record = record
+            raise error
+        return record
+
+    def stats(self) -> dict:
+        """The server's ``{"cmd": "stats"}`` snapshot."""
+        return self.request({"cmd": "stats"})
+
+    # -- pipelining ---------------------------------------------------------------
+
+    def submit(self, payload: dict) -> Any:
+        """Send a request without waiting; returns its (auto-assigned) id."""
+        payload = dict(payload)
+        if payload.get("id") is None:
+            payload["id"] = f"req-{next(self._auto_ids)}"
+        self._send_line(payload)
+        self._pending.append(payload["id"])
+        return payload["id"]
+
+    def recv(self) -> dict:
+        """Read the next pipelined response (request order), checking its id."""
+        if not self._pending:
+            raise ExplorationError("no pipelined requests outstanding; submit() first")
+        try:
+            record = self._read_record()
+        except (ConnectionError, OSError) as error:
+            self.close()
+            raise ExplorationError(
+                f"connection lost with {len(self._pending) or 'no'} pipelined "
+                f"response(s) outstanding: {error}"
+            ) from error
+        expected = self._pending.popleft()
+        if record.get("id") != expected:
+            self.close()
+            raise ExplorationError(
+                f"pipelined response out of order: expected id {expected!r}, "
+                f"got {record.get('id')!r}"
+            )
+        return record
+
+    def drain(self) -> list[dict]:
+        """Collect every outstanding pipelined response, in request order."""
+        return [self.recv() for _ in range(len(self._pending))]
+
+    def send_lines(self, lines: Iterable[str]) -> None:
+        """Send raw protocol lines verbatim (no ids, no pending tracking).
+
+        For replaying a fixed stdio request file over TCP; pair with
+        :meth:`read_records`.
+        """
+        self.connect()
+        assert self._sock is not None
+        for line in lines:
+            self._sock.sendall(line.rstrip("\n").encode("utf-8") + b"\n")
+
+    def read_records(self, count: int) -> list[dict]:
+        """Read ``count`` raw response records (for :meth:`send_lines` replays)."""
+        return [self._read_record() for _ in range(count)]

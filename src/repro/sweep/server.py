@@ -20,12 +20,11 @@ hits and memoised reports are re-ranked without re-evaluation.
 
 from __future__ import annotations
 
-import json
 import threading
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Iterable
 
 from repro.arch.spec import ArchSpec
 from repro.core.dataflow import Dataflow
@@ -142,8 +141,13 @@ class SweepServer:
         self.cache = cache if cache is not None else RelationCache(max_entries=8)
         self._engines: "OrderedDict[tuple[str, str, str], _WarmEngine]" = OrderedDict()
         self._registry_lock = threading.Lock()
-        self._pool = ThreadPoolExecutor(max_workers=max(1, int(max_workers)),
-                                        thread_name_prefix="sweep")
+        #: Submission-order counters behind the ``engine_reused`` rate the
+        #: networked service surfaces via ``{"cmd": "stats"}``.
+        self._requests_submitted = 0
+        self._requests_reused = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(max_workers)), thread_name_prefix="sweep"
+        )
         self._closed = False
 
     # -- engine registry ----------------------------------------------------------
@@ -190,6 +194,9 @@ class SweepServer:
                         evicted.append(self._engines.pop(old_key))
             reused = warm.requests_queued > 0
             warm.requests_queued += 1
+            self._requests_submitted += 1
+            if reused:
+                self._requests_reused += 1
         for old in evicted:
             old.engine.close()
         return warm, reused
@@ -201,9 +208,14 @@ class SweepServer:
     def stats(self) -> dict:
         with self._registry_lock:
             engines = list(self._engines.values())
+            submitted = self._requests_submitted
+            reused = self._requests_reused
         return {
             "engines": len(engines),
             "requests_served": sum(w.requests_served for w in engines),
+            "requests_submitted": submitted,
+            "requests_reused": reused,
+            "engine_reused_rate": round(reused / submitted, 4) if submitted else 0.0,
             "relation_cache": self.cache.stats(),
         }
 
@@ -305,72 +317,5 @@ def result_record(request: SweepRequest, result: SweepResult, reused: bool) -> d
     }
 
 
-def serve_lines(
-    lines: Iterable[str],
-    *,
-    jobs: int = 1,
-    backend: str = "auto",
-    batch_size: int = 64,
-    max_workers: int = 2,
-    emit: Callable[[str], None] = print,
-) -> int:
-    """The ``tenet serve`` loop: JSON requests in, JSON results out, in order.
-
-    Requests are queued onto the server as they are read, so later requests
-    for other operations start sweeping while earlier ones run; results are
-    emitted in request order, streamed as soon as the head of the queue
-    finishes (a long-lived producer sees results without closing its end).
-    Returns the number of serviced requests.
-    """
-    served = 0
-    with SweepServer(
-        jobs=jobs, backend=backend, batch_size=batch_size, max_workers=max_workers
-    ) as server:
-        queued: deque[tuple[SweepRequest | None, Future]] = deque()
-        emit_lock = threading.Lock()
-
-        def drain_ready() -> None:
-            # Emit every finished result at the head of the queue.  Runs both
-            # on the reader thread and from future completion callbacks, so
-            # results stream even while the reader blocks on an idle stdin.
-            # A failed request still produces its one output line (an error
-            # record), preserving the 1:1 request/response protocol.
-            nonlocal served
-            with emit_lock:
-                while queued and queued[0][1].done():
-                    request, future = queued.popleft()
-                    try:
-                        result, reused = future.result()
-                        record = result_record(request, result, reused)
-                    except Exception as error:  # noqa: BLE001 - protocol line
-                        record = {
-                            "kernel": request.kernel if request else None,
-                            "error": f"{type(error).__name__}: {error}",
-                        }
-                    emit(json.dumps(record))
-                    served += 1
-
-        for line in lines:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                request = SweepRequest.from_dict(json.loads(line))
-                future = server.submit(request)
-            except Exception as error:  # noqa: BLE001 - malformed line
-                request = None
-                future = Future()
-                future.set_exception(error)
-            with emit_lock:
-                queued.append((request, future))
-            # Fires immediately when the future already completed, so no
-            # result can be stranded between append and callback.
-            future.add_done_callback(lambda _future: drain_ready())
-        while True:
-            with emit_lock:
-                head = queued[0][1] if queued else None
-            if head is None:
-                break
-            head.exception()  # block until done without re-raising here
-            drain_ready()
-    return served
+# The ``tenet serve`` loops — stdio and TCP — live in :mod:`repro.sweep.net`;
+# both transports run the same connection handler over this server.

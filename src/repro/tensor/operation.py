@@ -3,12 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
-
 import numpy as np
 
 from repro.errors import SpaceError
-from repro.isl.enumeration import chunk_to_array, encode_rows
+from repro.isl.enumeration import encode_rows
 from repro.isl.imap import IntMap
 from repro.isl.iset import IntSet
 from repro.isl.union import UnionMap

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
-
 from repro.tensor.kernels import conv2d, depthwise_conv2d, gemm, mmc, mttkrp
 from repro.tensor.operation import TensorOp
 

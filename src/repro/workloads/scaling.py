@@ -20,7 +20,6 @@ Each experiment records the scale factor it applied in its output and in
 
 from __future__ import annotations
 
-import math
 from typing import Mapping, Sequence
 
 from repro.isl.iset import IntSet

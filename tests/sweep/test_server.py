@@ -122,6 +122,18 @@ class TestSweepServer:
             _, reused = server.submit(request).result()
             assert reused
 
+    def test_stats_track_engine_reuse_rate(self):
+        with SweepServer() as server:
+            request = SweepRequest.from_dict(
+                {"kernel": "gemm", "sizes": [12, 12, 12], "max_candidates": 4}
+            )
+            for _ in range(2):
+                server.submit(request).result()
+            stats = server.stats()
+            assert stats["requests_submitted"] == 2
+            assert stats["requests_reused"] == 1
+            assert stats["engine_reused_rate"] == 0.5
+
     def test_submit_after_shutdown_rejected(self):
         server = SweepServer()
         server.shutdown()
