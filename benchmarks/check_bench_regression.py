@@ -31,12 +31,21 @@ import sys
 DEFAULT_BENCHMARK = "engine_sweep_gemm48x100"
 
 
-def load_metric(path: str, benchmark: str, field: str) -> float | None:
+def load_records(path: str) -> dict[str, dict]:
+    """Records keyed by benchmark name (last record wins, like the conftest merge)."""
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    for record in payload.get("records", []):
-        if record.get("benchmark") == benchmark and field in record:
-            return float(record[field])
+    return {
+        record["benchmark"]: record
+        for record in payload.get("records", [])
+        if "benchmark" in record
+    }
+
+
+def load_metric(path: str, benchmark: str, field: str) -> float | None:
+    record = load_records(path).get(benchmark)
+    if record is not None and field in record:
+        return float(record[field])
     return None
 
 
@@ -66,28 +75,46 @@ def main(argv=None) -> int:
                         help="allowed fractional drop before failing (0.20 = 20%%)")
     args = parser.parse_args(argv)
 
-    current = load_metric(args.current, args.benchmark, args.field)
-    if current is None:
-        print(f"error: {args.current} has no {args.benchmark}.{args.field} record")
+    current_records = load_records(args.current)
+    if not current_records:
+        print(f"error: {args.current} has no benchmark records")
         return 2
-    baseline = load_metric(args.baseline, args.benchmark, args.field)
-    if baseline is None:
+    baseline_records = load_records(args.baseline)
+
+    # Gate only on benchmarks present in BOTH files: a record renamed or
+    # newly added on one side is a trajectory change to note, not a failure.
+    if args.benchmark not in current_records:
+        print(f"{args.current} has no {args.benchmark!r} record "
+              f"(has: {', '.join(sorted(current_records))}); nothing to gate")
+        return 0
+    if args.benchmark not in baseline_records:
         # First run on a branch without a committed record: nothing to gate.
-        print(f"no committed baseline for {args.benchmark}.{args.field}; "
-              f"current = {current:.1f} (recording only)")
+        print(f"no committed baseline for {args.benchmark!r}; recording only")
+        return 0
+
+    current_record = current_records[args.benchmark]
+    baseline_record = baseline_records[args.benchmark]
+    if args.field not in current_record or args.field not in baseline_record:
+        missing = args.current if args.field not in current_record else args.baseline
+        print(f"{missing} records {args.benchmark!r} without field "
+              f"{args.field!r}; nothing to gate")
         return 0
 
     absolute_ok = compare(
-        f"{args.benchmark}.{args.field}", baseline, current, args.tolerance
+        f"{args.benchmark}.{args.field}",
+        float(baseline_record[args.field]),
+        float(current_record[args.field]),
+        args.tolerance,
     )
     ratio_ok = None
     if args.ratio_field:
-        ratio_baseline = load_metric(args.baseline, args.benchmark, args.ratio_field)
-        ratio_current = load_metric(args.current, args.benchmark, args.ratio_field)
-        if ratio_baseline is not None and ratio_current is not None:
+        if (args.ratio_field in baseline_record
+                and args.ratio_field in current_record):
             ratio_ok = compare(
                 f"{args.benchmark}.{args.ratio_field}",
-                ratio_baseline, ratio_current, args.tolerance,
+                float(baseline_record[args.ratio_field]),
+                float(current_record[args.ratio_field]),
+                args.tolerance,
             )
 
     if ratio_ok is False:

@@ -250,6 +250,48 @@ def test_bench_engine_sweep(benchmark, bench_record):
     )
 
 
+def test_bench_fused_xp(bench_record):
+    """Array-API fused throughput per namespace on the gemm48x100 sweep.
+
+    The numpy leg is the CPU-regression guard for the array-namespace port
+    (the ``engine_sweep_gemm48x100.fused_candidates_per_sec`` record gates
+    it); additional namespaces (torch-CPU in the CI device-matrix job) record
+    their own throughput and are asserted bit-identical to numpy.
+    """
+    from repro.core.xp import available_namespaces
+
+    op = gemm(GEMM_SIZE, GEMM_SIZE, GEMM_SIZE)
+    arch = make_arch(pe_dims=PE_DIMS, interconnect="2d-systolic")
+    candidates = sweep_candidates(op)
+
+    specs = ["numpy"]
+    if "torch" in available_namespaces():
+        specs.append("torch:cpu")
+
+    record = {}
+    batches = {}
+    print()
+    for spec in specs:
+        batch, seconds, engine = timed_sweep(
+            op, arch, candidates, "fused", repeats=2, device=spec
+        )
+        batches[spec] = batch
+        cps = NUM_CANDIDATES / seconds
+        field = spec.partition(":")[0]
+        record[f"{field}_candidates_per_sec"] = round(cps, 1)
+        transfer = engine.profile()["transfer"]
+        print(f"fused[{spec:9s}]          : {seconds:.2f} s "
+              f"({cps:.0f} cand/s, transfer {transfer:.3f} s)")
+        assert engine.stats["fused_path"] > 0
+    bench_record("fused_xp", **record)
+
+    reference = batches["numpy"].reports
+    assert len(reference) == NUM_CANDIDATES
+    for spec, batch in batches.items():
+        for a, b in zip(reference, batch.reports):
+            assert comparable(a) == comparable(b), f"{spec} diverged from numpy"
+
+
 def test_bench_backend_fallback_and_wide_interval(bench_record):
     op = gemm(24, 24, 24)
     arch = make_arch(pe_dims=(4, 4), interconnect="2d-systolic")

@@ -27,6 +27,8 @@ from repro.core.analyzer import analyze
 from repro.core.backends import BACKEND_NAMES
 from repro.core.engine import OBJECTIVES
 from repro.dataflows.catalog import all_entries, get_dataflow
+from repro.core.xp import namespace_probes, resolve_namespace
+from repro.errors import ExplorationError
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.pruning import pruned_candidates
 from repro.experiments import (
@@ -104,15 +106,22 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         bandwidth_bits=args.bandwidth,
     )
     shard = parse_shard(args.shard) if args.shard else None
-    explorer = DesignSpaceExplorer(
-        op,
-        arch,
-        objective=args.objective,
-        max_instances=args.max_instances,
-        jobs=args.jobs,
-        backend=args.backend,
-        batch_size=args.batch_size,
-    )
+    try:
+        explorer = DesignSpaceExplorer(
+            op,
+            arch,
+            objective=args.objective,
+            max_instances=args.max_instances,
+            jobs=args.jobs,
+            backend=args.backend,
+            device=args.device,
+            batch_size=args.batch_size,
+        )
+    except ExplorationError as error:
+        # Most commonly a capability error from --device: the message lists
+        # the available namespaces.
+        print(f"tenet explore: error: {error}", file=sys.stderr)
+        return 1
     candidates = pruned_candidates(
         op,
         pe_dims=tuple(args.pe),
@@ -148,9 +157,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
     )
     if args.profile:
-        stages = explorer.engine.profile()
+        engine = explorer.engine
+        stages = engine.profile()
         total = sum(stages.values()) or 1.0
-        print("profile (per-stage wall clock, workers included):")
+        print(
+            "profile (per-stage wall clock, workers included; "
+            f"backend={engine.backend.name}, "
+            f"namespace={engine.xp.name}:{engine.xp.device}):"
+        )
         for name, seconds in sorted(stages.items(), key=lambda kv: -kv[1]):
             print(f"  {name:12s} {seconds:8.3f}s  {100 * seconds / total:5.1f}%")
         kernel_stats = {
@@ -164,7 +178,28 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_banner(args: argparse.Namespace) -> None:
+    """Advertise device capabilities on startup (stderr, like the bind line)."""
+    probes = namespace_probes()
+    detail = ", ".join(
+        f"{name}={'yes (' + note + ')' if ok else 'no'}"
+        for name, (ok, note) in sorted(probes.items())
+    )
+    print(
+        f"tenet serve: backend={args.backend} device={args.device}; "
+        f"array namespaces: {detail}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _serve_banner(args)
+    try:
+        resolve_namespace(args.device)
+    except ExplorationError as error:
+        print(f"tenet serve: error: {error}", file=sys.stderr)
+        return 1
     if args.listen is not None:
         host, port = parse_listen(args.listen)
 
@@ -179,6 +214,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port,
             jobs=args.jobs,
             backend=args.backend,
+            device=args.device,
             batch_size=args.batch_size,
             max_workers=args.workers,
             max_inflight=args.max_inflight,
@@ -198,6 +234,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             iter_lines(stream),
             jobs=args.jobs,
             backend=args.backend,
+            device=args.device,
             batch_size=args.batch_size,
             max_workers=args.workers,
             max_inflight=args.max_inflight,
@@ -275,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "baseline, affine the PR 2 compiled backend, bitset the "
                               "packed-word membership kernel, fused the pure batch-"
                               "fused backend")
+    explore.add_argument("--device", default="numpy", metavar="NAME[:DEV]",
+                         help="array namespace the compiled kernels evaluate on "
+                              "(numpy, torch, torch:cuda, cupy, ...); results are "
+                              "bit-identical across devices, unavailable namespaces "
+                              "fail with a capability error listing what is "
+                              "available")
     explore.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep (1 = serial)")
     explore.add_argument("--top", type=int, default=5,
@@ -330,6 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="queued requests per connection before the server "
                             "replies with a structured overload error")
     serve.add_argument("--backend", default="auto", choices=list(BACKEND_NAMES))
+    serve.add_argument("--device", default="numpy", metavar="NAME[:DEV]",
+                       help="array namespace for every warm engine (see "
+                            "'tenet explore --device')")
     serve.add_argument("--batch-size", type=int, default=64)
     serve.set_defaults(handler=_cmd_serve)
 

@@ -30,6 +30,13 @@ computed:
     packed occupancy is smaller than the pair array (small ops) or the
     temporal interval is beyond the sort kernels' window.  This is the
     default.
+
+The compiled backends (everything but ``interp``) evaluate through the
+engine's array namespace (:mod:`repro.core.xp`, selected by the engine's
+``device=`` knob): the stacked-coefficient matmul and the fused volume
+kernels run on numpy, torch or cupy through one codepath, with reports
+bit-identical across namespaces by contract.  ``interp`` is host-only and
+rejects non-numpy devices at engine construction.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from typing import TYPE_CHECKING
 from repro.core.backends.base import EngineBackend, InterpBackend
 from repro.core.backends.affine import AffineBackend
 from repro.core.backends.fused import FusedBackend
+from repro.core.xp import available_namespaces, namespace_probes, resolve_namespace
 from repro.errors import ExplorationError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,5 +83,8 @@ __all__ = [
     "EngineBackend",
     "FusedBackend",
     "InterpBackend",
+    "available_namespaces",
     "make_backend",
+    "namespace_probes",
+    "resolve_namespace",
 ]

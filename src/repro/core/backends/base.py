@@ -43,7 +43,16 @@ class BatchStampProvider:
 
 
 class EngineBackend:
-    """Stamp evaluation and volume kernels for one :class:`EvaluationEngine`."""
+    """Stamp evaluation and volume kernels for one :class:`EvaluationEngine`.
+
+    Device contract: backends that compute through the engine's array
+    namespace (``engine.xp``, see :mod:`repro.core.xp`) must keep reports
+    bit-identical to the host namespace — integer-exact arithmetic on the
+    device, host-side assembly of every report field — and account any
+    host<->device copies into the engine's ``transfer`` stage timer.
+    Host-only backends simply ignore ``engine.xp``; the engine rejects
+    non-numpy devices for :class:`InterpBackend` up front.
+    """
 
     name = "base"
 

@@ -35,8 +35,10 @@ All three are pure performance transformations: reports are bit-identical to
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -47,6 +49,11 @@ from repro.core.backends.affine import (
     _evict_lru,
 )
 from repro.core.volumes import VolumeMetrics
+from repro.core.xp import ArrayNamespace, NumpyNamespace
+
+#: Kernel-level default: the host namespace, so the module stays importable
+#: and exact without an engine (unit tests drive the kernel directly).
+_HOST = NumpyNamespace()
 
 #: One fused stamp matmul may produce up to this many result cells before the
 #: provider splits the batch into several stacked evaluations.  The budget
@@ -73,6 +80,28 @@ class FusedSlot:
     delta: np.ndarray
     #: Per-pair validity (source group exists) in group-sorted order.
     valid: np.ndarray
+    #: Host-precomputed ``valid.any()`` so slot skipping never syncs a device.
+    valid_any: bool = True
+
+
+@dataclass
+class _DeviceLayout:
+    """The candidate-invariant layout arrays on one namespace's device.
+
+    On the host namespace these *are* the :class:`GroupLayout` arrays (no
+    copies); on a device namespace they are uploaded once per layout and stay
+    resident across batches, so per-candidate volume counting only moves the
+    rank column.
+    """
+
+    #: Gather index over the rank column (int64 on device namespaces, whose
+    #: indexing requires it; the original int32 ``perm_mod`` on the host).
+    perm: Any
+    #: Dense group id per pair, group-sorted (int32).
+    dense: Any
+    #: Per-slot validity masks (bool) and dense-group offsets (int32).
+    slot_valid: list[Any]
+    slot_delta: list[Any]
 
 
 class FusedLayout:
@@ -110,7 +139,40 @@ class FusedLayout:
             for delta_const, delta, valid in zip(
                 layout.slot_delta_const, layout.slot_delta, layout.slot_valid
             ):
-                self.slots.append(FusedSlot(delta_const, delta, valid))
+                self.slots.append(
+                    FusedSlot(delta_const, delta, valid, bool(valid.any()))
+                )
+        #: Resident per-namespace device copies, keyed ``name:device``.
+        self._device: dict[str, _DeviceLayout] = {}
+
+    def device_arrays(self, xp: ArrayNamespace, on_transfer=None) -> _DeviceLayout:
+        """The layout arrays on ``xp``'s device, uploaded once and kept."""
+        if xp.is_numpy:
+            key = "numpy"
+        else:
+            key = f"{xp.name}:{xp.device}"
+        bundle = self._device.get(key)
+        if bundle is None:
+            layout = self.layout
+            if xp.is_numpy:
+                bundle = _DeviceLayout(
+                    perm=layout.perm_mod,
+                    dense=layout.dense_sorted,
+                    slot_valid=[slot.valid for slot in self.slots],
+                    slot_delta=[slot.delta for slot in self.slots],
+                )
+            else:
+                started = time.perf_counter()
+                bundle = _DeviceLayout(
+                    perm=xp.asarray(layout.perm_mod, "int64"),
+                    dense=xp.asarray(layout.dense_sorted),
+                    slot_valid=[xp.asarray(slot.valid) for slot in self.slots],
+                    slot_delta=[xp.asarray(slot.delta) for slot in self.slots],
+                )
+                if on_transfer is not None:
+                    on_transfer(time.perf_counter() - started)
+            self._device[key] = bundle
+        return bundle
 
 
 def fused_group_volume_metrics(
@@ -123,6 +185,10 @@ def fused_group_volume_metrics(
     footprint: int,
     rank_span: int,
     rank32: np.ndarray,
+    xp: ArrayNamespace | None = None,
+    rank_wide: Any = None,
+    rank_narrow: Any = None,
+    on_transfer=None,
 ) -> VolumeMetrics | None:
     """Exact Table II metrics via segmented sorts and shifted-slice windows.
 
@@ -131,14 +197,22 @@ def fused_group_volume_metrics(
     guarantees both.  Returns ``None`` when the temporal interval is outside
     the adjacency window or keys would overflow — the affine kernels then take
     over, exactly as they do for each other.
+
+    One codepath for every array namespace: on the host namespace the
+    operations below bind directly to numpy, and the integer-only arithmetic
+    makes device results bit-identical once copied back.  ``rank_wide`` /
+    ``rank_narrow`` optionally pass the rank column already on ``xp``'s device
+    (the backend caches that upload per candidate); otherwise the host arrays
+    are uploaded here.
     """
     ti = temporal_interval
     if ti < 1 or ti > 8:
         return None
-    layout = fused.layout
+    if xp is None:
+        xp = _HOST
     n = fused.pairs
     m = fused.block
-    groups = layout.group_count
+    groups = fused.layout.group_count
     span = int(rank_span)
     if n == 0 or span <= 0:
         return None
@@ -147,45 +221,52 @@ def fused_group_volume_metrics(
         return None
     narrow = 2 * (groups + 1) * span < (1 << 31)
 
+    dev = fused.device_arrays(xp, on_transfer)
+    if rank_wide is None or rank_narrow is None:
+        rank_wide, rank_narrow = t_rank, rank32
+        if not xp.is_numpy:
+            started = time.perf_counter()
+            rank_wide = xp.asarray(t_rank)
+            rank_narrow = xp.asarray(rank32)
+            if on_transfer is not None:
+                on_transfer(time.perf_counter() - started)
+
     # Segmented sort: ranks per pair in group-sorted order, then each group's
     # block sorted independently.  Within-block sorting never moves a pair
     # across blocks, so the per-pair slot metadata stays aligned.  The int32
     # rank copy is only exact while the span fits; huge-span ops take the
     # int64 path end to end.
-    rank_source = rank32 if narrow else t_rank
-    ranks = np.take(rank_source, layout.perm_mod).reshape(groups, m)
-    ranks.sort(axis=1)
-    ranks = ranks.ravel()
+    rank_source = rank_narrow if narrow else rank_wide
+    ranks = xp.take(rank_source, dev.perm).reshape(groups, m)
+    ranks = xp.sort2d(ranks).ravel()
     if narrow:
-        keys = layout.dense_sorted * np.int32(span)
+        keys = dev.dense * xp.int_scalar(span, True)
         keys += ranks
     else:
-        keys = layout.dense_sorted.astype(np.int64) * span
+        keys = xp.astype(dev.dense, "int64") * span
         keys += ranks
 
     # Temporal reuse: (g, r - ti) can only sit within ti positions back in the
     # block; a value match implies the same group because 0 <= r - ti < span.
-    temporal = np.zeros(n, dtype=bool)
+    temporal = xp.zeros(n, "bool")
     if ti == 1:
-        np.equal(keys[:-1], keys[1:] - 1, out=temporal[1:])
+        temporal[1:] = keys[:-1] == keys[1:] - 1
     else:
         for back in range(1, ti + 1):
-            np.logical_or(
-                temporal[back:], keys[:-back] == keys[back:] - ti,
-                out=temporal[back:],
-            )
+            temporal[back:] |= keys[:-back] == keys[back:] - ti
     temporal &= ranks >= ti
-    temporal_count = int(np.count_nonzero(temporal))
+    temporal_count = xp.count_nonzero(temporal)
 
     spatial_count = 0
     if temporal_count < n and fused.slots:
         si = spatial_interval
         rank_ok = ranks >= si if si else None
-        spatial = np.zeros(n, dtype=bool)
-        window_masks: dict[int, np.ndarray] = {}
-        for slot in fused.slots:
-            if not slot.valid.any():
+        spatial = xp.zeros(n, "bool")
+        window_masks: dict[int, Any] = {}
+        for slot_index, slot in enumerate(fused.slots):
+            if not slot.valid_any:
                 continue
+            slot_valid = dev.slot_valid[slot_index]
             if slot.delta_const is not None and m <= _WINDOW_MAX_BLOCK:
                 # Constant source offset: the matching position, if any, lies
                 # within one block of p + delta * m, so membership is 2m - 1
@@ -195,49 +276,48 @@ def fused_group_volume_metrics(
                 hits = window_masks.get(delta)
                 if hits is None:
                     shift = delta * span - si
-                    probes = keys + (np.int32(shift) if narrow else np.int64(shift))
-                    hits = np.zeros(n, dtype=bool)
+                    probes = keys + xp.int_scalar(shift, narrow)
+                    hits = xp.zeros(n, "bool")
                     centre = delta * m
                     for w in range(centre - m + 1, centre + m):
                         if w >= 0:
-                            if w < n:
-                                np.logical_or(
-                                    hits[: n - w] if w else hits,
-                                    keys[w:] == (probes[: n - w] if w else probes),
-                                    out=hits[: n - w] if w else hits,
-                                )
+                            if w == 0:
+                                hits |= keys == probes
+                            elif w < n:
+                                hits[: n - w] |= keys[w:] == probes[: n - w]
                         elif -w < n:
-                            np.logical_or(
-                                hits[-w:], keys[:w] == probes[-w:], out=hits[-w:]
-                            )
+                            hits[-w:] |= keys[:w] == probes[-w:]
                     if rank_ok is not None:
                         hits &= rank_ok
                     window_masks[delta] = hits
-                spatial |= hits & slot.valid
+                spatial |= hits & slot_valid
             else:
                 # Per-pair source offsets: probe only the pairs that still
                 # need an answer (valid, rank-guarded, no temporal reuse).
-                needed = slot.valid & ~temporal & ~spatial
+                needed = slot_valid & ~temporal & ~spatial
                 if rank_ok is not None:
                     needed &= rank_ok
-                index = np.flatnonzero(needed)
-                if not index.size:
+                index = xp.flatnonzero(needed)
+                if not len(index):
                     continue
                 if slot.delta_const is not None:
                     shift = slot.delta_const * span - si
-                    probes = keys[index] + (
-                        np.int32(shift) if narrow else np.int64(shift)
-                    )
+                    probes = keys[index] + xp.int_scalar(shift, narrow)
                 else:
-                    delta = slot.delta[index]
+                    delta = dev.slot_delta[slot_index][index]
                     if narrow:
-                        probes = keys[index] + (delta * np.int32(span) - np.int32(si))
+                        probes = keys[index] + (
+                            delta * xp.int_scalar(span, True)
+                            - xp.int_scalar(si, True)
+                        )
                     else:
-                        probes = keys[index] + (delta.astype(np.int64) * span - si)
-                positions = np.searchsorted(keys, probes)
-                hits = np.take(keys, positions, mode="clip") == probes
+                        probes = keys[index] + (
+                            xp.astype(delta, "int64") * span - si
+                        )
+                positions = xp.searchsorted(keys, probes)
+                hits = xp.take_clip(keys, positions) == probes
                 spatial[index[hits]] = True
-        spatial_count = int(np.count_nonzero(spatial & ~temporal))
+        spatial_count = xp.count_nonzero(spatial & ~temporal)
 
     return VolumeMetrics(
         tensor=tensor,
@@ -340,6 +420,7 @@ class FusedBackend(AffineBackend):
     def __init__(self, engine, *, bitset_mode: str = "never"):
         super().__init__(engine, bitset_mode=bitset_mode)
         self._fused_layouts: OrderedDict[int, FusedLayout] = OrderedDict()
+        self._rank_device: tuple[int, Any, Any] | None = None
         self.spacetime_memo = SpacetimeMemo()
 
     # -- stamps -----------------------------------------------------------------
@@ -381,6 +462,26 @@ class FusedBackend(AffineBackend):
             self._fused_layouts.move_to_end(key)
         return fused
 
+    def _rank_device_for(self, t_rank, rank32):
+        """The candidate's rank column on the engine's device, uploaded once.
+
+        Keyed by array identity like ``_rank32_for``: every tensor of a
+        candidate shares one ``t_rank``, so per-tensor kernel calls reuse a
+        single upload.  The lazy assignment is a benign race under the volume
+        thread pool — worst case two threads upload the same column.
+        """
+        xp = self.engine.xp
+        memo = self._rank_device
+        key = id(t_rank)
+        if memo is not None and memo[0] == key:
+            return memo[1], memo[2]
+        started = time.perf_counter()
+        wide = xp.asarray(t_rank)
+        narrow = xp.asarray(rank32)
+        self._add_transfer_seconds(time.perf_counter() - started)
+        self._rank_device = (key, wide, narrow)
+        return wide, narrow
+
     def _volume_sorted(
         self, tensor, layout, t_rank, relations, assume_unique, rank_span, rank32,
     ):
@@ -391,6 +492,11 @@ class FusedBackend(AffineBackend):
             if fused is not None and fused.usable:
                 engine = self.engine
                 span = rank_span if rank_span is not None else int(t_rank.max()) + 1
+                narrow32 = rank32 if rank32 is not None else t_rank.astype(np.int32)
+                xp = engine.xp
+                rank_wide = rank_narrow = None
+                if not xp.is_numpy:
+                    rank_wide, rank_narrow = self._rank_device_for(t_rank, narrow32)
                 metrics = fused_group_volume_metrics(
                     tensor,
                     fused,
@@ -399,7 +505,11 @@ class FusedBackend(AffineBackend):
                     temporal_interval=engine.temporal_interval,
                     footprint=relations.tensors[tensor].footprint,
                     rank_span=span,
-                    rank32=rank32 if rank32 is not None else t_rank.astype(np.int32),
+                    rank32=narrow32,
+                    xp=xp,
+                    rank_wide=rank_wide,
+                    rank_narrow=rank_narrow,
+                    on_transfer=self._add_transfer_seconds,
                 )
                 if metrics is not None:
                     return metrics, "fused_path"

@@ -48,6 +48,7 @@ from repro.core.shm import attach_relations, share_relations
 from repro.core.spacetime import SpacetimeMap
 from repro.core.utilization import UtilizationMetrics, compute_utilization
 from repro.core.volumes import VolumeMetrics, compute_volume_metrics
+from repro.core.xp import resolve_namespace
 from repro.errors import DataflowError, ExplorationError, ModelError, SpaceError
 from repro.isl.enumeration import chunk_length, sorted_unique
 from repro.tensor.operation import TensorOp
@@ -806,6 +807,7 @@ class EvaluationEngine:
         cache: RelationCache | None = None,
         memoize: bool = True,
         backend: str = "auto",
+        device: str = "numpy",
     ):
         self.op = op
         self.arch = arch
@@ -833,6 +835,18 @@ class EvaluationEngine:
         #: ``jobs > 1`` workers (see :mod:`repro.core.shm`); ``close()`` owns it.
         self._shared_relations = None
         self.backend_name = str(backend)
+        self.device_name = str(device)
+        #: The resolved array namespace every compiled kernel computes on.
+        #: Resolution fails loudly (listing available namespaces) before any
+        #: evaluation starts, so a missing torch/cupy is a clear capability
+        #: error instead of a mid-sweep crash.
+        self.xp = resolve_namespace(self.device_name)
+        if not self.xp.is_numpy and self.backend_name == "interp":
+            raise ExplorationError(
+                "backend 'interp' evaluates on the host interpreter and does "
+                f"not support device '{self.device_name}'; use a compiled "
+                "backend (auto/affine/bitset/fused)"
+            )
         self.backend = make_backend(self.backend_name, self)
         self.stats: dict[str, int] = {
             "evaluated": 0,
@@ -864,6 +878,9 @@ class EvaluationEngine:
             "utilization": 0.0,
             "volumes": 0.0,
             "rank": 0.0,
+            # Host<->device copies (uploads + result downloads) on non-numpy
+            # namespaces; stays 0.0 on the host namespace.
+            "transfer": 0.0,
         }
 
     def close(self) -> None:
@@ -1366,6 +1383,7 @@ class EvaluationEngine:
                 "temporal_interval": self.temporal_interval,
                 "validate": self.should_validate,
                 "backend": self.backend_name,
+                "device": self.device_name,
                 "memoize": self.memoize,
             }
             self._pool = ProcessPoolExecutor(

@@ -44,6 +44,7 @@ class DesignSpaceExplorer:
         jobs: int = 1,
         cache: RelationCache | None = None,
         backend: str = "auto",
+        device: str = "numpy",
         batch_size: int = 64,
     ):
         self.op = op
@@ -60,6 +61,7 @@ class DesignSpaceExplorer:
             jobs=self.jobs,
             cache=cache,
             backend=backend,
+            device=device,
         )
         # Unknown objective names raise here, not at sweep time.
         self.objective_name, self.objective, _ = resolve_objective(objective)

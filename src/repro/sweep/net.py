@@ -219,6 +219,7 @@ class SweepService:
         *,
         jobs: int = 1,
         backend: str = "auto",
+        device: str = "numpy",
         batch_size: int = 64,
         max_workers: int = 2,
         max_inflight: int | None = None,
@@ -228,6 +229,7 @@ class SweepService:
             server = SweepServer(
                 jobs=jobs,
                 backend=backend,
+                device=device,
                 batch_size=batch_size,
                 max_workers=max_workers,
             )
@@ -350,6 +352,11 @@ class SweepService:
                 },
                 "draining": self._draining,
                 "relation_cache": server_stats["relation_cache"],
+                # Device routing: clients use these to steer device-capable
+                # sweeps to servers that can actually run them.
+                "device": server_stats["device"],
+                "engine_devices": server_stats["engine_devices"],
+                "array_namespaces": server_stats["array_namespaces"],
             }
         )
         return record
@@ -604,6 +611,7 @@ def serve_lines(
     *,
     jobs: int = 1,
     backend: str = "auto",
+    device: str = "numpy",
     batch_size: int = 64,
     max_workers: int = 2,
     max_inflight: int | None = None,
@@ -624,6 +632,7 @@ def serve_lines(
         service = SweepService(
             jobs=jobs,
             backend=backend,
+            device=device,
             batch_size=batch_size,
             max_workers=max_workers,
             max_inflight=max_inflight,
@@ -644,6 +653,7 @@ def run_tcp_server(
     *,
     jobs: int = 1,
     backend: str = "auto",
+    device: str = "numpy",
     batch_size: int = 64,
     max_workers: int = 2,
     max_inflight: int | None = None,
@@ -659,6 +669,7 @@ def run_tcp_server(
         service = SweepService(
             jobs=jobs,
             backend=backend,
+            device=device,
             batch_size=batch_size,
             max_workers=max_workers,
             max_inflight=max_inflight,

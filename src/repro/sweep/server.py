@@ -2,7 +2,8 @@
 
 :class:`SweepServer` keeps one warm :class:`~repro.core.engine.EvaluationEngine`
 — materialised relations, compiled group layouts, report memo — per
-``(operation, architecture, backend)`` and services queued sweep requests
+``(operation, architecture, backend, device)`` and services queued sweep
+requests
 concurrently: requests for *different* operations sweep in parallel on a
 thread pool (each engine may additionally fan out over its own ``jobs``
 process pool), while requests for the *same* warm engine serialise on a
@@ -34,6 +35,7 @@ from repro.core.engine import (
     arch_signature,
     op_signature,
 )
+from repro.core.xp import available_namespaces, resolve_namespace
 from repro.errors import ExplorationError
 from repro.sweep.session import SweepResult, SweepSession
 from repro.sweep.source import CandidateSource, validate_shard
@@ -123,6 +125,7 @@ class SweepServer:
         *,
         jobs: int = 1,
         backend: str = "auto",
+        device: str = "numpy",
         batch_size: int = 64,
         max_workers: int = 2,
         max_instances: int = 4_000_000,
@@ -131,6 +134,10 @@ class SweepServer:
     ):
         self.jobs = max(1, int(jobs))
         self.backend = backend
+        self.device = str(device)
+        # Fail at construction, not at the first request: an unavailable
+        # namespace is a deployment error the operator should see immediately.
+        resolve_namespace(self.device)
         self.batch_size = int(batch_size)
         self.max_instances = int(max_instances)
         #: Warm engines kept resident; least-recently-used idle engines are
@@ -139,7 +146,7 @@ class SweepServer:
         #: One relation cache for the whole server: engines of different
         #: architectures over the same operation share its relations.
         self.cache = cache if cache is not None else RelationCache(max_entries=8)
-        self._engines: "OrderedDict[tuple[str, str, str], _WarmEngine]" = OrderedDict()
+        self._engines: "OrderedDict[tuple[str, str, str, str], _WarmEngine]" = OrderedDict()
         self._registry_lock = threading.Lock()
         #: Submission-order counters behind the ``engine_reused`` rate the
         #: networked service surfaces via ``{"cmd": "stats"}``.
@@ -163,7 +170,7 @@ class SweepServer:
         *idle* engine is closed and dropped (an engine mid-sweep, or with
         reserved requests, is never evicted).
         """
-        key = (op_signature(op), arch_signature(arch), self.backend)
+        key = (op_signature(op), arch_signature(arch), self.backend, self.device)
         evicted: list[_WarmEngine] = []
         with self._registry_lock:
             warm = self._engines.get(key)
@@ -176,6 +183,7 @@ class SweepServer:
                         arch,
                         jobs=self.jobs,
                         backend=self.backend,
+                        device=self.device,
                         cache=self.cache,
                         max_instances=self.max_instances,
                     )
@@ -217,6 +225,13 @@ class SweepServer:
             "requests_reused": reused,
             "engine_reused_rate": round(reused / submitted, 4) if submitted else 0.0,
             "relation_cache": self.cache.stats(),
+            # Device routing: what this server evaluates on and what it
+            # *could* evaluate on, so clients can steer device-capable work.
+            "device": self.device,
+            "engine_devices": sorted(
+                {f"{w.engine.xp.name}:{w.engine.xp.device}" for w in engines}
+            ),
+            "array_namespaces": available_namespaces(),
         }
 
     # -- request servicing --------------------------------------------------------

@@ -220,6 +220,9 @@ class SweepSession:
             # mode is part of the checkpoint identity.
             "early_termination": self.early_termination,
             "backend": self.engine.backend_name,
+            # Informational (reports are device-invariant by contract, so
+            # resume across devices is sound; sinks compare fixed keys only).
+            "device": self.engine.device_name,
             "shard": list(shard) if shard is not None else None,
         }
 

@@ -32,6 +32,27 @@ def report_dict(report):
     return data
 
 
+def _torch_available() -> bool:
+    try:
+        import torch  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+#: The namespace axis of the bit-identity matrix: numpy always runs; the
+#: torch-CPU leg runs whenever torch is importable (the CI device-matrix job)
+#: and is skipped, not failed, on hosts without it.
+NAMESPACE_PARAMS = [
+    pytest.param("numpy", id="numpy"),
+    pytest.param(
+        "torch:cpu",
+        id="torch-cpu",
+        marks=pytest.mark.skipif(not _torch_available(), reason="torch not installed"),
+    ),
+]
+
+
 def small_candidates(op, pe_dims=(4, 4), count=6):
     return list(pruned_candidates(op, pe_dims=pe_dims, allow_packing=True,
                                   max_candidates=count))
@@ -216,21 +237,29 @@ class TestBackendReports:
     ], ids=["gemm", "conv2d"])
     @pytest.mark.parametrize("interconnect", ["2d-systolic", "mesh", "multicast"])
     @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "fused", "auto"])
-    def test_backend_reports_equal_analyzer(self, make_op, interconnect, backend):
+    @pytest.mark.parametrize("device", NAMESPACE_PARAMS)
+    def test_backend_reports_equal_analyzer(self, make_op, interconnect, backend, device):
+        if backend == "interp" and device != "numpy":
+            pytest.skip("interp is host-only (rejected at engine construction)")
         op = make_op()
         arch = make_arch(pe_dims=(4, 4), interconnect=interconnect)
-        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+        engine = EvaluationEngine(
+            op, arch, cache=RelationCache(), backend=backend, device=device
+        )
         for candidate in small_candidates(op):
             reference = TenetAnalyzer(op, candidate, arch).analyze()
             assert report_dict(reference) == report_dict(engine.evaluate(candidate))
 
     @pytest.mark.parametrize("backend", ["affine", "bitset", "fused", "auto"])
-    def test_nested_quasi_reports_equal_analyzer(self, backend):
+    @pytest.mark.parametrize("device", NAMESPACE_PARAMS)
+    def test_nested_quasi_reports_equal_analyzer(self, backend, device):
         op = gemm(16, 16, 16)
         arch = make_arch(pe_dims=(4, 4))
         candidate = nested_quasi_dataflow(op)
         reference = TenetAnalyzer(op, candidate, arch).analyze()
-        engine = EvaluationEngine(op, arch, cache=RelationCache(), backend=backend)
+        engine = EvaluationEngine(
+            op, arch, cache=RelationCache(), backend=backend, device=device
+        )
         assert report_dict(reference) == report_dict(engine.evaluate(candidate))
 
     @pytest.mark.parametrize("backend", ["interp", "affine", "bitset", "fused", "auto"])
@@ -511,3 +540,43 @@ class TestRegistry:
             engine = EvaluationEngine(op, arch, backend=name)
             assert engine.backend.name == name
             assert engine.backend_name == name
+
+
+class TestFusedBaseline:
+    """The array-API fused backend against the committed pre-refactor reports.
+
+    ``tests/core/data/fused_baseline.json`` was generated by the fused
+    backend *before* the array-namespace port; these tests pin the refactor
+    to bit-identical output (round-tripped through JSON, exactly like the
+    fixture) on every namespace in the matrix.
+    """
+
+    CASES = {
+        "gemm16": (lambda: gemm(16, 16, 16), "2d-systolic"),
+        "gemm12_mesh": (lambda: gemm(12, 12, 12), "mesh"),
+        "conv2d": (lambda: conv2d(4, 4, 6, 6, 3, 3), "2d-systolic"),
+    }
+
+    @staticmethod
+    def _baseline():
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).parent / "data" / "fused_baseline.json"
+        return json.loads(path.read_text())
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("device", NAMESPACE_PARAMS)
+    def test_fused_matches_pre_refactor_baseline(self, case, device):
+        import json
+
+        make_op, interconnect = self.CASES[case]
+        op = make_op()
+        arch = make_arch(pe_dims=(4, 4), interconnect=interconnect)
+        engine = EvaluationEngine(op, arch, backend="fused", device=device)
+        candidates = pruned_candidates(
+            op, pe_dims=(4, 4), allow_packing=True, max_candidates=8
+        )
+        fresh = {c.name: report_dict(engine.evaluate(c)) for c in candidates}
+        assert json.loads(json.dumps(fresh)) == self._baseline()[case]
+        assert engine.stats["fused_path"] > 0

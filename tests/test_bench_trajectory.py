@@ -100,3 +100,46 @@ class TestRegressionChecker:
         current = tmp_path / "cur.json"
         current.write_text(json.dumps({"records": []}))
         assert checker.main(["--baseline", baseline, "--current", str(current)]) == 2
+
+    def test_renamed_record_does_not_misfire(self, tmp_path):
+        # The fresh run measured a *renamed* benchmark: the gated name is
+        # absent from the current file but other records exist.  Only
+        # benchmarks present in both files are compared, so this is a
+        # nothing-to-gate pass, not an exit-2 misfire.
+        checker = load_module("benchmarks/check_bench_regression.py", "bench_checker5")
+        baseline = self.write(tmp_path / "base.json", 100.0, speedup=2.3)
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"records": [
+            {"benchmark": "engine_sweep_gemm64x100",
+             "fused_candidates_per_sec": 80.0},
+        ]}))
+        assert checker.main(["--baseline", baseline, "--current", str(current)]) == 0
+
+    def test_added_record_does_not_affect_the_gate(self, tmp_path):
+        # A brand-new record (e.g. fused_xp) rides along in the fresh file;
+        # the gate still compares only the shared benchmark.
+        checker = load_module("benchmarks/check_bench_regression.py", "bench_checker6")
+        baseline = self.write(tmp_path / "base.json", 100.0, speedup=2.3)
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"records": [
+            {"benchmark": "engine_sweep_gemm48x100",
+             "fused_candidates_per_sec": 97.0, "fused_speedup": 2.28},
+            {"benchmark": "fused_xp", "numpy_candidates_per_sec": 1.0},
+        ]}))
+        assert checker.main(["--baseline", baseline, "--current", str(current)]) == 0
+        regressed = tmp_path / "bad.json"
+        regressed.write_text(json.dumps({"records": [
+            {"benchmark": "engine_sweep_gemm48x100",
+             "fused_candidates_per_sec": 60.0, "fused_speedup": 1.2},
+            {"benchmark": "fused_xp", "numpy_candidates_per_sec": 999.0},
+        ]}))
+        assert checker.main(["--baseline", baseline, "--current", str(regressed)]) == 1
+
+    def test_missing_field_on_either_side_is_skipped(self, tmp_path):
+        checker = load_module("benchmarks/check_bench_regression.py", "bench_checker7")
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"records": [
+            {"benchmark": "engine_sweep_gemm48x100", "fused_speedup": 2.3},
+        ]}))
+        current = self.write(tmp_path / "cur.json", 50.0, speedup=2.2)
+        assert checker.main(["--baseline", str(baseline), "--current", current]) == 0
