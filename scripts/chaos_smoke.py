@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Seeded chaos smoke for the sweep fabric (the CI `chaos-smoke` job).
+
+Everything is driven by one ``--seed``: the fault schedule is drawn with
+:meth:`repro.sweep.FaultPlan.seeded`, so every run injects the same failures
+at the same events and the recovery claims are reproducible bit for bit.
+
+Scenario A — server crash mid-pipeline, recover onto a restarted server:
+
+1. baseline: a clean ``tenet serve`` subprocess sweeps 4 shard requests; the
+   shard replies merge into the reference ranking;
+2. chaos: a second server is armed via ``TENET_FAULTS`` with a seeded
+   ``server.request``/``kill`` fault — it ``os._exit(42)``'s mid-batch;
+3. the pipelining client hits :class:`PipelineBrokenError`, a fresh (healthy)
+   server is started on a new port, ``recover()`` resubmits the outstanding
+   shards there, and the merged ranking must be **bit-identical** to the
+   baseline (the server also reports the resubmissions as retries).
+
+Scenario B — checkpoint torn mid-record by a crash, resume:
+
+4. a seeded ``sink.write``/``truncate`` fault tears a checkpoint at byte *k*
+   of record *n* mid-sweep; resuming the checkpoint re-sweeps only what was
+   lost and the final ranking must be bit-identical to an undisturbed run.
+
+Run locally with ``python scripts/chaos_smoke.py`` from the repo root
+(``src/`` is put on ``sys.path`` automatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.core.engine import EvaluationEngine, RelationCache  # noqa: E402
+from repro.dse.pruning import pruned_candidates  # noqa: E402
+from repro.sweep import (  # noqa: E402
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    PipelineBrokenError,
+    SweepClient,
+    SweepSession,
+    load_ranking,
+    render_ranking,
+)
+from repro.sweep.faults import FAULTS_ENV, KILL_EXIT_CODE  # noqa: E402
+from repro.tensor.kernels import gemm  # noqa: E402
+
+SHARDS = 4
+REQUEST = {
+    "kernel": "gemm",
+    "sizes": [16, 16, 16],
+    "max_candidates": 48,
+    "top": 64,
+}
+LISTEN_PATTERN = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def start_server(fault_plan: FaultPlan | None = None):
+    """Start a real ``tenet serve`` subprocess, optionally armed with faults."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    env.pop(FAULTS_ENV, None)
+    if fault_plan is not None:
+        env[FAULTS_ENV] = fault_plan.to_json()
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--listen", "127.0.0.1:0"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    address: dict[str, tuple[str, int]] = {}
+    announced = threading.Event()
+
+    def pump() -> None:
+        assert process.stderr is not None
+        for line in process.stderr:
+            match = LISTEN_PATTERN.search(line)
+            if match:
+                address["bound"] = (match.group(1), int(match.group(2)))
+                announced.set()
+        announced.set()
+
+    threading.Thread(target=pump, daemon=True).start()
+    if not announced.wait(60) or "bound" not in address:
+        process.kill()
+        raise AssertionError("server never announced its address")
+    host, port = address["bound"]
+    return process, host, port
+
+
+def stop_server(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(30)
+
+
+def shard_requests() -> list[dict]:
+    return [
+        {**REQUEST, "shard": [index, SHARDS], "id": f"shard-{index}"}
+        for index in range(SHARDS)
+    ]
+
+
+def merged_ranking(records: list[dict]) -> str:
+    """Deterministic merge of per-shard replies (volatile fields excluded).
+
+    ``top`` entries carry no wall-clock fields, so the merged text is
+    byte-comparable across runs; ties on (score, name) order by the full
+    canonical entry so equal-score candidates cannot flap.
+    """
+    assert len(records) == SHARDS, [r.get("id") for r in records]
+    assert {r["id"] for r in records} == {f"shard-{i}" for i in range(SHARDS)}
+    entries = []
+    for record in records:
+        assert "error" not in record, record
+        entries.extend(record["top"])
+    entries.sort(key=lambda e: (e["score"], e["name"], json.dumps(e, sort_keys=True)))
+    return json.dumps(entries, sort_keys=True)
+
+
+def scenario_server_kill(seed: int) -> None:
+    # Baseline: undisturbed sharded sweep on a clean server.
+    process, host, port = start_server()
+    try:
+        with SweepClient(host, port, timeout=300.0) as client:
+            for request in shard_requests():
+                client.submit(request)
+            reference = merged_ranking(client.drain())
+    finally:
+        stop_server(process)
+    print(f"baseline ok: {SHARDS} shard replies merged")
+
+    # Chaos: the server is armed to os._exit(42) mid-batch at a seeded event.
+    plan = FaultPlan.seeded(seed, [{"site": "server.request", "kind": "kill", "within": 3}])
+    kill_at = plan.specs[0].at
+    print(f"fault plan (seed={seed}): kill server at request #{kill_at}")
+    process, host, port = start_server(fault_plan=plan)
+    replacement = None
+    client = SweepClient(
+        host, port, timeout=300.0, deadline=120.0, backoff_base=0.05, jitter_seed=seed
+    )
+    try:
+        for request in shard_requests():
+            client.submit(request)
+        records: list[dict] = []
+        while client.pending:
+            try:
+                records.append(client.recv())
+            except PipelineBrokenError as error:
+                print(f"pipeline broke after {len(records)} replies; outstanding: {error.pending}")
+                break
+        else:
+            raise AssertionError("injected kill never fired")
+        assert process.wait(60) == KILL_EXIT_CODE, "server did not die by injection"
+        # At most kill_at - 1 sweeps completed; replies already served can
+        # still be lost in the dead server's write queue (a real crash loses
+        # unflushed output), in which case recovery resubmits those too.
+        assert len(records) <= kill_at - 1, (records, kill_at)
+        outstanding = client.pending
+
+        # Restart (healthy) and recover the outstanding shards there.
+        replacement, new_host, new_port = start_server()
+        recovered = client.recover(new_host, new_port)
+        assert len(recovered) == outstanding
+        records.extend(client.drain())
+        chaos = merged_ranking(records)
+        assert chaos == reference, (
+            "merged ranking after kill+recover differs from the baseline:\n"
+            f"baseline: {reference}\nchaos:    {chaos}"
+        )
+        stats = client.stats()
+        assert stats["faults"]["retries_served"] == outstanding, stats
+        print(
+            f"kill/recover ok: {outstanding} shard(s) resubmitted, merged "
+            "ranking bit-identical to the baseline"
+        )
+    finally:
+        client.close()
+        stop_server(process)
+        if replacement is not None:
+            stop_server(replacement)
+
+
+def scenario_torn_checkpoint(seed: int, workdir: Path) -> None:
+    op = gemm(*REQUEST["sizes"])
+    candidates = list(pruned_candidates(op, pe_dims=(4, 4), allow_packing=True, max_candidates=24))
+
+    def session(checkpoint: Path, **kwargs) -> SweepSession:
+        from repro.experiments.common import make_arch
+
+        engine = EvaluationEngine(op, make_arch(pe_dims=(4, 4)), cache=RelationCache())
+        return SweepSession(engine, checkpoint=str(checkpoint), **kwargs)
+
+    reference_path = workdir / "reference.jsonl"
+    session(reference_path).run(candidates)
+    reference = render_ranking(load_ranking(reference_path))
+
+    plan = FaultPlan.seeded(
+        seed,
+        [{"site": "sink.write", "kind": "truncate", "within": 10, "arg_max": 300}],
+    )
+    spec = plan.specs[0]
+    print(f"fault plan (seed={seed}): tear checkpoint record #{spec.at} at byte {spec.arg}")
+    chaos_path = workdir / "chaos.jsonl"
+    injector = FaultInjector(plan)
+    try:
+        session(chaos_path, fault_injector=injector).run(candidates)
+    except InjectedFault as error:
+        print(f"sweep crashed as scheduled: {error}")
+    else:
+        raise AssertionError("injected checkpoint tear never fired")
+
+    result = session(chaos_path, resume=True).run(candidates)
+    assert result.skipped > 0, "resume re-swept everything"
+    chaos = render_ranking(load_ranking(chaos_path))
+    assert chaos == reference, (
+        "resumed ranking differs from the undisturbed run:\n"
+        f"baseline:\n{reference}\nresumed:\n{chaos}"
+    )
+    print(
+        f"torn-checkpoint ok: {result.skipped} record(s) restored, "
+        "ranking bit-identical to the undisturbed run"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1234, help="fault schedule seed")
+    args = parser.parse_args()
+    scenario_server_kill(args.seed)
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as workdir:
+        scenario_torn_checkpoint(args.seed, Path(workdir))
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ from repro.sweep import (
     run_tcp_server,
     serve_lines,
 )
+from repro.sweep import faults as sweep_faults
 from repro.tensor.kernels import make_kernel
 
 EXPERIMENTS: dict[str, Callable[[], object]] = {
@@ -138,6 +139,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         # checkpoint (when given) stays the full per-candidate record.
         # ``--top 0`` keeps the historical unbounded behaviour (print nothing).
         top_k=args.top if args.top > 0 else None,
+        checkpoint_fsync=args.checkpoint_fsync if args.checkpoint_fsync > 0 else None,
     )
     print(result.summary(count=args.top))
     stats = explorer.engine.stats
@@ -219,6 +221,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
+            request_timeout=args.request_timeout,
             announce=announce,
         )
         print(f"served {served} sweep request(s)", file=sys.stderr)
@@ -239,6 +242,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
+            request_timeout=args.request_timeout,
         )
     finally:
         if stream is not sys.stdin:
@@ -345,6 +349,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "checkpoint is refused unless --resume)")
     explore.add_argument("--resume", action="store_true",
                          help="skip candidates already recorded in --checkpoint")
+    explore.add_argument("--checkpoint-fsync", type=int, default=0, metavar="N",
+                         help="fsync the checkpoint every N result records (0 = "
+                              "flush only); bounds what an OS crash can lose")
     explore.add_argument("--batch-size", type=int, default=64,
                          help="candidates pulled from the generator per engine batch "
                               "(multiplied by --jobs for parallel sweeps; also the "
@@ -372,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-depth", type=int, default=64,
                        help="queued requests per connection before the server "
                             "replies with a structured overload error")
+    serve.add_argument("--request-timeout", type=float, default=None, metavar="SECS",
+                       help="per-request watchdog: a request running longer gets "
+                            "a structured 'code: timeout' reply instead of "
+                            "hanging its connection (default: no watchdog)")
     serve.add_argument("--backend", default="auto", choices=list(BACKEND_NAMES))
     serve.add_argument("--device", default="numpy", metavar="NAME[:DEV]",
                        help="array namespace for every warm engine (see "
@@ -397,6 +408,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    # Deterministic chaos: a JSON fault plan in $TENET_FAULTS arms the fault
+    # injector for this process (how the chaos smoke crashes a real server
+    # subprocess on the N-th request).  Unset, this is a no-op.
+    sweep_faults.install_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     if not getattr(args, "handler", None):

@@ -73,6 +73,7 @@ class DesignSpaceExplorer:
         early_termination: bool = False,
         checkpoint: str | None = None,
         resume: bool = False,
+        checkpoint_fsync: int | None = None,
         top_k: int | None = None,
     ) -> SweepSession:
         """A sweep session on this explorer's warm engine."""
@@ -83,6 +84,7 @@ class DesignSpaceExplorer:
             early_termination=early_termination,
             checkpoint=checkpoint,
             resume=resume,
+            checkpoint_fsync=checkpoint_fsync,
             top_k=top_k,
         )
 
@@ -95,6 +97,7 @@ class DesignSpaceExplorer:
         shard: tuple[int, int] | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        checkpoint_fsync: int | None = None,
         top_k: int | None = None,
     ) -> ExplorationResult:
         """Sweep every candidate and return them ranked by the objective.
@@ -124,6 +127,6 @@ class DesignSpaceExplorer:
         """
         session = self.session(
             early_termination=early_termination, checkpoint=checkpoint,
-            resume=resume, top_k=top_k,
+            resume=resume, checkpoint_fsync=checkpoint_fsync, top_k=top_k,
         )
         return session.run(candidates, shard=shard, dedupe=dedupe)

@@ -19,9 +19,21 @@ caller (explorer, experiment drivers, CLI) into four shared pieces:
   protocol over TCP *and* stdio (one shared connection handler), with
   round-robin multi-tenant fairness, backpressure, and graceful drain.
 * :mod:`repro.sweep.client` — :class:`SweepClient`: a small blocking client
-  for the networked service (round trips, pipelining, reconnect retry).
+  for the networked service (round trips, pipelining, backoff/deadline
+  retries, pipeline recovery after a drop).
+* :mod:`repro.sweep.faults` — :class:`FaultPlan`/:class:`FaultInjector`:
+  seeded, deterministic fault injection (connection drops, delays, torn
+  lines, server kills, engine-build failures, checkpoint truncation) at hook
+  points threaded through every layer above, so recovery is provable.
 """
 
+from repro.sweep.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedDisconnect,
+    InjectedFault,
+)
 from repro.sweep.source import (
     CandidateSource,
     parse_shard,
@@ -38,17 +50,26 @@ from repro.sweep.sinks import (
     report_record,
 )
 from repro.sweep.session import SweepResult, SweepSession
-from repro.sweep.server import SweepRequest, SweepServer
+from repro.sweep.server import EngineQuarantinedError, SweepRequest, SweepServer
 from repro.sweep.net import (
+    RequestTimeout,
     SweepService,
     iter_lines,
     parse_listen,
     run_tcp_server,
     serve_lines,
 )
-from repro.sweep.client import SweepClient
+from repro.sweep.client import PipelineBrokenError, SweepClient
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
+    "InjectedDisconnect",
+    "PipelineBrokenError",
+    "EngineQuarantinedError",
+    "RequestTimeout",
     "CandidateSource",
     "signature_shard_index",
     "parse_shard",

@@ -9,24 +9,55 @@ Two usage shapes:
 * **Blocking round trips** — :meth:`sweep` / :meth:`stats` /
   :meth:`request` send one request and wait for its response.  When the
   connection is idle (no pipelined responses outstanding) a broken socket is
-  transparently reconnected and the request retried once.
+  transparently reconnected and the request retried with exponential backoff;
+  ``deadline=`` bounds the *total* time spent retrying, distinct from the
+  per-attempt socket ``timeout=``.  With a deadline set, structured
+  ``"code": "overloaded"`` / ``"draining"`` replies are also retried (the
+  server told the client to back off, not that the request is wrong).
 * **Pipelining** — :meth:`submit` sends a request tagged with an ``"id"``
   without waiting; :meth:`recv` / :meth:`drain` collect the responses in
-  request order and verify the echoed ids.  The server schedules connections
-  round-robin, so pipelining deeply never starves other clients — expect
-  ``"code": "overloaded"`` replies past the server's per-connection queue
-  depth.
+  request order and verify the echoed ids.  A connection loss mid-pipeline
+  raises :class:`PipelineBrokenError` *without* forgetting the outstanding
+  requests: because sweeps are deterministic and ids are echoed,
+  :meth:`recover` resubmits them over a fresh connection (optionally to a
+  restarted server at a new address) and draining continues where it left
+  off.  Resubmitted and retried requests carry ``"retry": true`` so the
+  server's ``retries_served`` counter stays honest.
+
+Retries are safe because sweep requests are pure: the same request always
+produces the same record (modulo wall-clock fields), so re-running one on a
+fresh server cannot change the merged outcome.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
+import time
 from collections import deque
 from typing import Any, Iterable, Sequence
 
 from repro.errors import ExplorationError
+from repro.sweep import faults as fault_hooks
+from repro.sweep.faults import FaultInjector
+
+#: Server reply codes that mean "try again later", not "this request is bad".
+RETRYABLE_CODES = ("overloaded", "draining")
+
+
+class PipelineBrokenError(ExplorationError):
+    """The connection died with pipelined responses outstanding.
+
+    ``pending`` lists the outstanding request ids in submission order; the
+    client still holds their payloads, so :meth:`SweepClient.recover` can
+    resubmit them over a fresh connection.
+    """
+
+    def __init__(self, message: str, pending: Sequence[Any]):
+        super().__init__(message)
+        self.pending = list(pending)
 
 
 class SweepClient:
@@ -38,17 +69,37 @@ class SweepClient:
         port: int = 0,
         *,
         timeout: float | None = 120.0,
+        deadline: float | None = None,
         reconnect_retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter_seed: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
         self.host = host
         self.port = int(port)
+        #: Per-attempt socket timeout; a slow sweep fails one attempt.
         self.timeout = timeout
-        #: Reconnect-and-resend attempts for idle blocking requests.
+        #: Total wall-clock budget across reconnects, backoff sleeps and
+        #: overload retries; ``None`` falls back to ``reconnect_retries``
+        #: attempts with no retry of structured overload replies.
+        self.deadline = deadline
+        #: Reconnect-and-resend attempts for idle blocking requests when no
+        #: deadline is set.
         self.reconnect_retries = max(0, int(reconnect_retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        #: Jitter source; seed it for reproducible backoff schedules.
+        self._rng = random.Random(jitter_seed)
+        self._faults = fault_injector
         self._sock: socket.socket | None = None
         self._reader: Any = None
-        self._pending: deque[Any] = deque()
+        #: Outstanding pipelined requests as (id, payload) in request order —
+        #: payloads are kept (not just ids) so :meth:`recover` can resubmit.
+        self._pending: deque[tuple[Any, dict]] = deque()
         self._auto_ids = itertools.count(1)
+        #: Requests this client re-sent (reconnect retries + recoveries).
+        self.retries_sent = 0
 
     # -- connection lifecycle -----------------------------------------------------
 
@@ -60,7 +111,8 @@ class SweepClient:
             self._reader = sock.makefile("rb")
         return self
 
-    def close(self) -> None:
+    def _drop_connection(self) -> None:
+        """Close the socket but keep the pipeline state (for recovery)."""
         reader, self._reader = self._reader, None
         sock, self._sock = self._sock, None
         for closeable in (reader, sock):
@@ -69,6 +121,10 @@ class SweepClient:
                     closeable.close()
                 except OSError:
                     pass
+
+    def close(self) -> None:
+        """Tear the client down, abandoning any outstanding pipeline state."""
+        self._drop_connection()
         self._pending.clear()
 
     def __enter__(self) -> "SweepClient":
@@ -86,60 +142,122 @@ class SweepClient:
         """Pipelined requests whose responses have not been read yet."""
         return len(self._pending)
 
+    @property
+    def pending_ids(self) -> list[Any]:
+        """Ids of the outstanding pipelined requests, in request order."""
+        return [request_id for request_id, _ in self._pending]
+
     # -- wire helpers -------------------------------------------------------------
 
     def _send_line(self, payload: dict) -> None:
         self.connect()
         assert self._sock is not None
+        fault_hooks.apply("client.send", self._faults)
         self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
 
     def _read_record(self) -> dict:
         assert self._reader is not None, "not connected"
+        fault_hooks.apply("client.recv", self._faults)
         line = self._reader.readline()
         if not line:
             raise ConnectionError("sweep service closed the connection")
+        if not line.endswith(b"\n"):
+            # A torn final line: the server died mid-write.  Treat it as the
+            # connection loss it is (recoverable) rather than a JSON error.
+            raise ConnectionError(
+                f"connection closed mid-response (torn line of {len(line)} bytes)"
+            )
         record = json.loads(line)
         if not isinstance(record, dict):
             raise ExplorationError(f"malformed response line from server: {line!r}")
         return record
+
+    # -- retry discipline ---------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with full jitter (attempt is 1-based)."""
+        ceiling = min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+        return ceiling * (0.5 + 0.5 * self._rng.random())
+
+    def _sleep_before_retry(self, attempt: int, deadline_at: float | None) -> None:
+        delay = self._backoff_delay(attempt)
+        if deadline_at is not None:
+            delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _deadline_at(self) -> float | None:
+        return time.monotonic() + self.deadline if self.deadline is not None else None
+
+    def _out_of_budget(self, attempt: int, deadline_at: float | None) -> bool:
+        if deadline_at is not None:
+            return time.monotonic() >= deadline_at
+        return attempt > self.reconnect_retries
 
     # -- blocking round trips -----------------------------------------------------
 
     def request(self, payload: dict) -> dict:
         """One blocking request/response round trip; returns the raw record.
 
-        Retries once over a fresh connection when the socket broke while the
-        connection was idle.  With pipelined responses outstanding a retry
-        would desynchronise the stream, so it raises instead.
+        Connection failures while the connection is idle are retried over a
+        fresh connection with exponential backoff — bounded by ``deadline``
+        when set, else by ``reconnect_retries`` attempts.  With a deadline,
+        ``overloaded``/``draining`` replies are retried too; without one they
+        are returned to the caller unchanged (historical behaviour).  A
+        per-attempt ``timeout`` raises distinctly and is never resent: a slow
+        sweep is not a dead server, and resending would run it twice.  With
+        pipelined responses outstanding a retry would desynchronise the
+        stream, so it raises instead.
         """
         if self._pending:
             raise ExplorationError(
-                f"{self._pending[0]!r} and {len(self._pending) - 1} more pipelined "
+                f"{self._pending[0][0]!r} and {len(self._pending) - 1} more pipelined "
                 "responses are outstanding; drain() them before a blocking request"
             )
+        deadline_at = self._deadline_at()
+        attempt = 0
         last_error: Exception | None = None
-        for attempt in range(self.reconnect_retries + 1):
-            if attempt:
-                self.close()
+        while True:
+            attempt += 1
+            if attempt > 1:
+                self._drop_connection()
+                self.retries_sent += 1
             try:
-                self._send_line(payload)
-                return self._read_record()
+                self._send_line(payload if attempt == 1 else {**payload, "retry": True})
+                record = self._read_record()
             except TimeoutError as error:
                 # A slow sweep is not a dead server: resending would run it
                 # twice and still time out.  Surface the timeout distinctly.
-                self.close()
+                self._drop_connection()
                 raise ExplorationError(
                     f"sweep service at {self.host}:{self.port} did not answer "
                     f"within timeout={self.timeout}s (the request may still "
                     "be running server-side; raise the client timeout)"
                 ) from error
             except (ConnectionError, OSError) as error:
-                self.close()
+                self._drop_connection()
                 last_error = error
-        raise ExplorationError(
-            f"sweep service at {self.host}:{self.port} unreachable "
-            f"after {self.reconnect_retries + 1} attempt(s): {last_error}"
-        ) from last_error
+                if self._out_of_budget(attempt, deadline_at):
+                    raise ExplorationError(
+                        f"sweep service at {self.host}:{self.port} unreachable "
+                        f"after {attempt} attempt(s)"
+                        + (f" within deadline={self.deadline}s" if deadline_at else "")
+                        + f": {last_error}"
+                    ) from last_error
+                self._sleep_before_retry(attempt, deadline_at)
+                continue
+            code = record.get("code")
+            if (
+                deadline_at is not None
+                and code in RETRYABLE_CODES
+                and time.monotonic() < deadline_at
+            ):
+                # The server asked for backpressure (queue full) or is going
+                # away (draining); back off and try again — possibly against
+                # the replacement server — instead of failing the sweep.
+                self._sleep_before_retry(attempt, deadline_at)
+                continue
+            return record
 
     def sweep(self, kernel: str, sizes: Sequence[int], **fields: Any) -> dict:
         """Run one sweep request and return its result record.
@@ -172,33 +290,95 @@ class SweepClient:
         if payload.get("id") is None:
             payload["id"] = f"req-{next(self._auto_ids)}"
         self._send_line(payload)
-        self._pending.append(payload["id"])
+        self._pending.append((payload["id"], payload))
         return payload["id"]
 
     def recv(self) -> dict:
-        """Read the next pipelined response (request order), checking its id."""
+        """Read the next pipelined response (request order), checking its id.
+
+        A connection loss raises :class:`PipelineBrokenError` naming every
+        outstanding id — the payloads stay queued on the client, so
+        :meth:`recover` can resubmit them instead of losing the pipeline.
+        """
         if not self._pending:
             raise ExplorationError("no pipelined requests outstanding; submit() first")
         try:
             record = self._read_record()
         except (ConnectionError, OSError) as error:
-            self.close()
-            raise ExplorationError(
-                f"connection lost with {len(self._pending) or 'no'} pipelined "
-                f"response(s) outstanding: {error}"
+            self._drop_connection()
+            outstanding = self.pending_ids
+            raise PipelineBrokenError(
+                f"connection lost with {len(outstanding)} pipelined response(s) "
+                f"outstanding (ids {outstanding}); recover() resubmits them "
+                f"over a fresh connection: {error}",
+                outstanding,
             ) from error
-        expected = self._pending.popleft()
+        expected = self._pending[0][0]
         if record.get("id") != expected:
             self.close()
             raise ExplorationError(
                 f"pipelined response out of order: expected id {expected!r}, "
                 f"got {record.get('id')!r}"
             )
+        self._pending.popleft()
         return record
 
-    def drain(self) -> list[dict]:
-        """Collect every outstanding pipelined response, in request order."""
-        return [self.recv() for _ in range(len(self._pending))]
+    def recover(self, host: str | None = None, port: int | None = None) -> list[Any]:
+        """Resubmit every outstanding pipelined request over a fresh connection.
+
+        Reconnects (to ``host``/``port`` when given — e.g. a restarted server
+        on a new ephemeral port) with the same backoff/deadline discipline as
+        :meth:`request`, then resends the outstanding payloads in their
+        original submission order, tagged ``"retry": true``.  Sweeps are
+        deterministic, so records for resubmitted requests are identical to
+        what the dead server would have sent (modulo timing fields).  Returns
+        the resubmitted ids; :meth:`recv`/:meth:`drain` then continue as if
+        the drop never happened.
+        """
+        if host is not None:
+            self.host = host
+        if port is not None:
+            self.port = int(port)
+        outstanding = list(self._pending)
+        deadline_at = self._deadline_at()
+        attempt = 0
+        while True:
+            attempt += 1
+            self._drop_connection()
+            if attempt > 1:
+                self.retries_sent += 1
+            try:
+                self.connect()
+                for _, payload in outstanding:
+                    self._send_line({**payload, "retry": True})
+                return [request_id for request_id, _ in outstanding]
+            except (ConnectionError, OSError) as error:
+                self._drop_connection()
+                if self._out_of_budget(attempt, deadline_at):
+                    raise PipelineBrokenError(
+                        f"could not recover {len(outstanding)} pipelined "
+                        f"request(s) to {self.host}:{self.port} after "
+                        f"{attempt} attempt(s): {error}",
+                        [request_id for request_id, _ in outstanding],
+                    ) from error
+                self._sleep_before_retry(attempt, deadline_at)
+
+    def drain(self, *, recover: bool = False) -> list[dict]:
+        """Collect every outstanding pipelined response, in request order.
+
+        With ``recover=True`` a mid-drain connection loss triggers
+        :meth:`recover` (same address) and the drain continues; the returned
+        records cover every submitted request exactly once.
+        """
+        records = []
+        while self._pending:
+            try:
+                records.append(self.recv())
+            except PipelineBrokenError:
+                if not recover:
+                    raise
+                self.recover()
+        return records
 
     def send_lines(self, lines: Iterable[str]) -> None:
         """Send raw protocol lines verbatim (no ids, no pending tracking).

@@ -27,6 +27,13 @@ Control requests
     stats, request counters, the ``engine_reused`` rate, per-connection queue
     depths, and the in-flight count.
 
+Watchdog
+    ``request_timeout`` (``tenet serve --request-timeout``) bounds every
+    request end to end; tripping it replies ``"code": "timeout"`` instead of
+    hanging the connection.  Faults from :mod:`repro.sweep.faults` can be
+    injected into the channel read/write paths and the request path to prove
+    these behaviours deterministically.
+
 Graceful drain
     ``SIGTERM``/``SIGINT`` (or :meth:`SweepService.request_drain`) stops
     accepting new connections, answers every request already accepted, replies
@@ -47,10 +54,22 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, TextIO
 
 from repro.errors import ExplorationError
+from repro.sweep import faults as fault_hooks
+from repro.sweep.faults import FaultInjector, InjectedDisconnect
 from repro.sweep.server import SweepRequest, SweepServer, result_record
 
 #: Longest accepted request line (a sweep request is a few hundred bytes).
 LINE_LIMIT = 1 << 20
+
+
+class RequestTimeout(ExplorationError):
+    """A request exceeded the server's per-request watchdog.
+
+    The reply carries ``"code": "timeout"``; the sweep may still be running
+    on its worker thread, but the connection is unblocked instead of hanging.
+    """
+
+    code = "timeout"
 
 
 def parse_listen(spec: str) -> tuple[str, int]:
@@ -109,25 +128,46 @@ def error_record(
 class SocketChannel:
     """A connected TCP stream as a line channel."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        fault_injector: FaultInjector | None = None,
+    ):
         self.reader = reader
         self.writer = writer
+        self._faults = fault_injector
         peer = writer.get_extra_info("peername")
         self.name = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else "tcp"
 
     async def read_line(self) -> str | None:
         try:
+            await fault_hooks.apply_async("net.read", self._faults)
             data = await self.reader.readline()
         except (ConnectionError, ValueError, asyncio.IncompleteReadError):
             # ValueError = line longer than LINE_LIMIT; the stream cannot be
-            # resynchronised, so the connection ends.
+            # resynchronised, so the connection ends.  Injected drops land
+            # here too (InjectedDisconnect is a ConnectionError).
             return None
         if not data:
             return None
         return data.decode("utf-8", errors="replace")
 
     async def write_line(self, line: str) -> None:
-        self.writer.write(line.encode("utf-8") + b"\n")
+        payload = line.encode("utf-8") + b"\n"
+        spec = await fault_hooks.apply_async("net.write", self._faults)
+        if spec is not None and spec.kind == "torn":
+            # Write only the first ``arg`` bytes of the line, then drop the
+            # connection: the peer sees a torn response line followed by EOF.
+            self.writer.write(payload[: int(spec.arg or 0)])
+            with contextlib.suppress(Exception):
+                await self.writer.drain()
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+            raise InjectedDisconnect(f"injected torn write after {int(spec.arg or 0)} byte(s)")
+        self.writer.write(payload)
         await self.writer.drain()
 
     async def close(self) -> None:
@@ -224,7 +264,10 @@ class SweepService:
         max_workers: int = 2,
         max_inflight: int | None = None,
         queue_depth: int = 64,
+        request_timeout: float | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
+        self._faults = fault_injector
         if server is None:
             server = SweepServer(
                 jobs=jobs,
@@ -232,11 +275,16 @@ class SweepService:
                 device=device,
                 batch_size=batch_size,
                 max_workers=max_workers,
+                fault_injector=fault_injector,
             )
             self._owns_server = True
         else:
             self._owns_server = False
         self.server = server
+        #: Per-request watchdog: a sweep running longer than this gets a
+        #: structured ``"code": "timeout"`` reply instead of hanging its
+        #: connection (the worker thread finishes in the background).
+        self.request_timeout = float(request_timeout) if request_timeout is not None else None
         #: Sweeps admitted for concurrent execution across all connections.
         self.max_inflight = max(1, int(max_inflight if max_inflight is not None else max_workers))
         #: Accepted-but-undispatched requests per connection before overload.
@@ -249,6 +297,11 @@ class SweepService:
         self.requests_rejected = 0
         self.requests_failed = 0
         self.responses_sent = 0
+        #: Requests that tripped the per-request watchdog.
+        self.requests_timed_out = 0
+        #: Requests arriving with ``"retry": true`` — client reconnect
+        #: retries and pipeline recoveries, counted for observability.
+        self.retries_served = 0
         self._connections: dict[int, _Connection] = {}
         self._conn_ids = itertools.count(1)
         self._rr: deque[_Connection] = deque()
@@ -351,6 +404,13 @@ class SweepService:
                     for conn in self._connections.values()
                 },
                 "draining": self._draining,
+                # Failure counters: how much resilience machinery has fired.
+                "faults": {
+                    "request_timeouts": self.requests_timed_out,
+                    "retries_served": self.retries_served,
+                    "engine_build_failures": server_stats["engine_build_failures"],
+                    "quarantined_engines": server_stats["quarantined_engines"],
+                },
                 "relation_cache": server_stats["relation_cache"],
                 # Device routing: clients use these to steer device-capable
                 # sweeps to servers that can actually run them.
@@ -408,6 +468,10 @@ class SweepService:
             self.requests_rejected += 1
             return
         request_id = data.pop("id", None)
+        # Protocol-level (not request-schema) field: clients tag reconnect
+        # retries and pipeline resubmissions so operators can see them.
+        if data.pop("retry", False):
+            self.retries_served += 1
         cmd = data.pop("cmd", None)
         if cmd is not None:
             if cmd == "stats":
@@ -528,7 +592,14 @@ class SweepService:
         try:
             record = await self._run_request(item.request)
         except Exception as error:  # noqa: BLE001 - becomes the error reply line
-            record = error_record(item.request.kernel, error, request_id=item.request_id)
+            # Structured failures (RequestTimeout, EngineQuarantinedError)
+            # carry a reply code so clients can react without string-matching.
+            record = error_record(
+                item.request.kernel,
+                error,
+                code=getattr(error, "code", None),
+                request_id=item.request_id,
+            )
             self.requests_failed += 1
         else:
             if item.request_id is not None:
@@ -546,11 +617,32 @@ class SweepService:
         ``submit`` runs on a worker thread: it builds the operation and may
         construct (or LRU-evict and close) an engine, which must not stall
         the event loop for every other connection.
+
+        With ``request_timeout`` set, the whole request — build, engine
+        reservation, sweep — runs under a watchdog; tripping it raises
+        :class:`RequestTimeout` (reply ``"code": "timeout"``).  The worker
+        thread cannot be killed, so the sweep may still finish server-side;
+        what the watchdog guarantees is that a hung request never wedges its
+        connection (or its round-robin slot) forever.
         """
         loop = asyncio.get_running_loop()
-        future = await loop.run_in_executor(None, self.server.submit, request)
-        result, reused = await asyncio.wrap_future(future)
-        return result_record(request, result, reused)
+
+        async def run() -> dict:
+            future = await loop.run_in_executor(None, self.server.submit, request)
+            result, reused = await asyncio.wrap_future(future)
+            return result_record(request, result, reused)
+
+        if self.request_timeout is None:
+            return await run()
+        try:
+            return await asyncio.wait_for(run(), timeout=self.request_timeout)
+        except asyncio.TimeoutError as error:
+            self.requests_timed_out += 1
+            raise RequestTimeout(
+                "request exceeded the server watchdog "
+                f"(--request-timeout={self.request_timeout}s); the sweep may "
+                "still be running server-side"
+            ) from error
 
     # -- transports ---------------------------------------------------------------
 
@@ -560,7 +652,7 @@ class SweepService:
         task = asyncio.current_task()
         if task is not None:
             self._handler_tasks.add(task)
-        channel = SocketChannel(reader, writer)
+        channel = SocketChannel(reader, writer, fault_injector=self._faults)
         try:
             await self.handle_channel(channel)
         except Exception:  # noqa: BLE001 - one connection must not kill the server
@@ -616,6 +708,7 @@ def serve_lines(
     max_workers: int = 2,
     max_inflight: int | None = None,
     queue_depth: int = 64,
+    request_timeout: float | None = None,
     emit: Callable[[str], None] | None = None,
 ) -> int:
     """The stdio ``tenet serve`` loop: JSON requests in, JSON results out.
@@ -637,6 +730,7 @@ def serve_lines(
             max_workers=max_workers,
             max_inflight=max_inflight,
             queue_depth=queue_depth,
+            request_timeout=request_timeout,
         )
         channel = IterableChannel(lines, emit)
         try:
@@ -658,6 +752,7 @@ def run_tcp_server(
     max_workers: int = 2,
     max_inflight: int | None = None,
     queue_depth: int = 64,
+    request_timeout: float | None = None,
     announce: Callable[[str, int], None] | None = None,
 ) -> int:
     """Run ``tenet serve --listen``: serve TCP until SIGTERM/SIGINT, drain, exit.
@@ -674,6 +769,7 @@ def run_tcp_server(
             max_workers=max_workers,
             max_inflight=max_inflight,
             queue_depth=queue_depth,
+            request_timeout=request_timeout,
         )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):

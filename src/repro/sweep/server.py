@@ -22,6 +22,7 @@ hits and memoised reports are re-ranked without re-evaluation.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -37,6 +38,8 @@ from repro.core.engine import (
 )
 from repro.core.xp import available_namespaces, resolve_namespace
 from repro.errors import ExplorationError
+from repro.sweep import faults as fault_hooks
+from repro.sweep.faults import FaultInjector
 from repro.sweep.session import SweepResult, SweepSession
 from repro.sweep.source import CandidateSource, validate_shard
 from repro.tensor.operation import TensorOp
@@ -107,6 +110,18 @@ class SweepRequest:
         return op, arch, source
 
 
+class EngineQuarantinedError(ExplorationError):
+    """Engine construction for this key recently failed; retry after cooldown.
+
+    A bad request spec (device, architecture) would otherwise retry-storm
+    engine construction — the most expensive operation the server performs —
+    on every resubmission.  Carries ``code`` so the networked service can
+    reply with a structured ``"code": "quarantined"`` record.
+    """
+
+    code = "quarantined"
+
+
 @dataclass
 class _WarmEngine:
     engine: EvaluationEngine
@@ -131,6 +146,8 @@ class SweepServer:
         max_instances: int = 4_000_000,
         max_engines: int = 8,
         cache: RelationCache | None = None,
+        quarantine_cooldown: float = 30.0,
+        fault_injector: FaultInjector | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.backend = backend
@@ -148,6 +165,13 @@ class SweepServer:
         self.cache = cache if cache is not None else RelationCache(max_entries=8)
         self._engines: "OrderedDict[tuple[str, str, str, str], _WarmEngine]" = OrderedDict()
         self._registry_lock = threading.Lock()
+        self._faults = fault_injector
+        #: Seconds an engine key stays quarantined after a build failure.
+        self.quarantine_cooldown = float(quarantine_cooldown)
+        #: key -> (monotonic expiry, reason) for keys whose engine failed to
+        #: build; requests for them fail fast until the cooldown passes.
+        self._quarantine: dict[tuple[str, str, str, str], tuple[float, str]] = {}
+        self._engine_build_failures = 0
         #: Submission-order counters behind the ``engine_reused`` rate the
         #: networked service surfaces via ``{"cmd": "stats"}``.
         self._requests_submitted = 0
@@ -173,21 +197,43 @@ class SweepServer:
         key = (op_signature(op), arch_signature(arch), self.backend, self.device)
         evicted: list[_WarmEngine] = []
         with self._registry_lock:
+            quarantined = self._quarantine.get(key)
+            if quarantined is not None:
+                until, reason = quarantined
+                remaining = until - time.monotonic()
+                if remaining > 0:
+                    # Fail fast: do not rebuild a known-bad engine until the
+                    # cooldown passes (a retry storm must not reconstruct it).
+                    raise EngineQuarantinedError(
+                        "engine for this (op, arch, backend, device) is "
+                        f"quarantined for another {remaining:.1f}s after a "
+                        f"build failure: {reason}"
+                    )
+                del self._quarantine[key]
             warm = self._engines.get(key)
             if warm is not None:
                 self._engines.move_to_end(key)
             else:
-                warm = _WarmEngine(
-                    engine=EvaluationEngine(
-                        op,
-                        arch,
-                        jobs=self.jobs,
-                        backend=self.backend,
-                        device=self.device,
-                        cache=self.cache,
-                        max_instances=self.max_instances,
+                try:
+                    fault_hooks.apply("engine.build", self._faults)
+                    warm = _WarmEngine(
+                        engine=EvaluationEngine(
+                            op,
+                            arch,
+                            jobs=self.jobs,
+                            backend=self.backend,
+                            device=self.device,
+                            cache=self.cache,
+                            max_instances=self.max_instances,
+                        )
                     )
-                )
+                except Exception as error:
+                    self._engine_build_failures += 1
+                    self._quarantine[key] = (
+                        time.monotonic() + self.quarantine_cooldown,
+                        f"{type(error).__name__}: {error}",
+                    )
+                    raise
                 self._engines[key] = warm
                 for old_key in list(self._engines):
                     if len(self._engines) <= self.max_engines:
@@ -218,8 +264,13 @@ class SweepServer:
             engines = list(self._engines.values())
             submitted = self._requests_submitted
             reused = self._requests_reused
+            build_failures = self._engine_build_failures
+            now = time.monotonic()
+            quarantined = sum(1 for until, _ in self._quarantine.values() if until > now)
         return {
             "engines": len(engines),
+            "engine_build_failures": build_failures,
+            "quarantined_engines": quarantined,
             "requests_served": sum(w.requests_served for w in engines),
             "requests_submitted": submitted,
             "requests_reused": reused,
@@ -281,6 +332,10 @@ class SweepServer:
     def _serve(self, warm, candidates, objective, early_termination, shard):
         """One sweep on a reserved warm engine (serialised per engine)."""
         with warm.lock:
+            # Chaos hook: a ``kill`` here crashes the process mid-batch (the
+            # chaos smoke's seeded server crash); a ``delay`` simulates a
+            # hung request for the service watchdog.
+            fault_hooks.apply("server.request", self._faults)
             warm.requests_served += 1
             session = SweepSession(
                 warm.engine,

@@ -170,6 +170,8 @@ class SweepSession:
         sinks: Sequence[ResultSink] | None = None,
         checkpoint: str | None = None,
         resume: bool = False,
+        checkpoint_fsync: int | None = None,
+        fault_injector=None,
         top_k: int | None = None,
     ):
         self.engine = engine
@@ -199,7 +201,14 @@ class SweepSession:
                     f"{sorted(OBJECTIVES)}); a callable objective cannot be "
                     "validated against the checkpoint on resume"
                 )
-            self.checkpoint_sink = JsonlCheckpointSink(checkpoint, resume=resume)
+            # ``checkpoint_fsync`` bounds what an OS crash can lose;
+            # ``fault_injector`` lets chaos tests tear the write at byte k.
+            self.checkpoint_sink = JsonlCheckpointSink(
+                checkpoint,
+                resume=resume,
+                fsync_every=checkpoint_fsync,
+                fault_injector=fault_injector,
+            )
             self.sinks.append(self.checkpoint_sink)
         elif resume:
             raise ExplorationError(

@@ -16,6 +16,7 @@ ranking a single unsharded sweep would have produced.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Sequence
@@ -25,6 +26,8 @@ import numpy as np
 from repro.core.engine import CandidateOutcome
 from repro.core.metrics import PerformanceReport
 from repro.errors import ExplorationError
+from repro.sweep import faults as fault_hooks
+from repro.sweep.faults import FaultInjector, InjectedFault
 
 CHECKPOINT_VERSION = 1
 
@@ -122,14 +125,35 @@ class JsonlCheckpointSink(ResultSink):
     is validated against the session's identity and every recorded signature
     is skipped by the session; a mismatched identity is an error, not a silent
     restart.
+
+    Crash safety: the meta header of a fresh checkpoint is written to a
+    temporary file and moved into place with ``os.replace``, so a crash
+    mid-header leaves either no checkpoint or a complete one — never a
+    headerless file the resume path must refuse.  ``fsync_every=N`` issues
+    ``os.fsync`` after every ``N``-th result record (and on the header and on
+    close), bounding what an OS crash — not just a process kill — can lose.
+    A kill mid-record leaves a torn final line; both the resume path here and
+    :func:`load_ranking` drop the fragment and the record is simply re-swept.
     """
 
-    def __init__(self, path: str | Path, *, resume: bool = False):
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        resume: bool = False,
+        fsync_every: int | None = None,
+        fault_injector: FaultInjector | None = None,
+    ):
         self.path = Path(path)
         self.resume = bool(resume)
+        self.fsync_every = int(fsync_every) if fsync_every else None
+        if self.fsync_every is not None and self.fsync_every < 1:
+            raise ExplorationError(f"fsync_every must be positive, got {fsync_every}")
+        self._faults = fault_injector
         #: signature -> checkpoint record of every candidate already processed.
         self.completed: dict[str, dict] = {}
         self._handle: IO[str] | None = None
+        self._records_since_sync = 0
 
     def open(self, meta: dict) -> None:
         if self.resume and self.path.exists() and self.path.stat().st_size > 0:
@@ -157,8 +181,21 @@ class JsonlCheckpointSink(ResultSink):
                     "(resume=True / --resume) or delete it first"
                 )
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w", encoding="utf-8")
-            self._write({"kind": "meta", "version": CHECKPOINT_VERSION, **meta})
+            # Atomic header: a crash between creating the file and writing
+            # the meta line would leave a headerless checkpoint that resume
+            # must refuse.  Writing header-first to a temp file and
+            # os.replace-ing it in makes header presence all-or-nothing.
+            header = (
+                json.dumps({"kind": "meta", "version": CHECKPOINT_VERSION, **meta})
+                + "\n"
+            )
+            tmp_path = self.path.with_name(self.path.name + ".tmp")
+            with tmp_path.open("w", encoding="utf-8") as tmp:
+                tmp.write(header)
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_path, self.path)
+            self._handle = self.path.open("a", encoding="utf-8")
 
     def _load_completed(self, meta: dict) -> dict[str, dict]:
         completed: dict[str, dict] = {}
@@ -234,11 +271,35 @@ class JsonlCheckpointSink(ResultSink):
 
     def _write(self, record: dict) -> None:
         assert self._handle is not None, "sink used before open()"
-        self._handle.write(json.dumps(record, default=_json_default) + "\n")
+        line = json.dumps(record, default=_json_default) + "\n"
+        spec = fault_hooks.apply("sink.write", self._faults)
+        if spec is not None and spec.kind == "truncate":
+            # Simulate a crash k bytes into this record's write: persist only
+            # the torn prefix, then die.  k == len(line) means the record made
+            # it to disk and the crash hit just after.
+            torn = line[: min(int(spec.arg or 0), len(line))]
+            self._handle.write(torn)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise InjectedFault(
+                f"injected crash: checkpoint write torn after {len(torn)} byte(s)"
+            )
+        self._handle.write(line)
         self._handle.flush()
+        if self.fsync_every is not None:
+            self._records_since_sync += 1
+            if self._records_since_sync >= self.fsync_every:
+                os.fsync(self._handle.fileno())
+                self._records_since_sync = 0
 
     def close(self) -> None:
         if self._handle is not None:
+            if self.fsync_every is not None:
+                try:
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
             self._handle.close()
             self._handle = None
 

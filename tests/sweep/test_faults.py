@@ -1,0 +1,647 @@
+"""Tests for deterministic fault injection and the recovery paths it proves.
+
+Covers the fault plan/injector themselves, torn-checkpoint recovery at every
+truncation offset of the final record, the client's backoff/deadline/pipeline
+recovery discipline (against a scripted fake server), the service watchdog,
+engine-build quarantine, and the ``error_record`` protocol paths.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.engine import EvaluationEngine, RelationCache
+from repro.dse.pruning import pruned_candidates
+from repro.errors import ExplorationError
+from repro.experiments.common import make_arch
+from repro.sweep import (
+    EngineQuarantinedError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedDisconnect,
+    InjectedFault,
+    JsonlCheckpointSink,
+    PipelineBrokenError,
+    ResultSink,
+    SweepClient,
+    SweepRequest,
+    SweepServer,
+    SweepService,
+    SweepSession,
+    load_ranking,
+    render_ranking,
+    serve_lines,
+)
+from repro.sweep import faults
+from repro.sweep.net import error_record
+from repro.tensor.kernels import gemm
+
+
+@pytest.fixture(autouse=True)
+def _clear_global_injector():
+    yield
+    faults.install(None)
+
+
+def wait_until(predicate, timeout=20.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def ranking_key(entries):
+    return [(e.signature, e.name, e.score, e.data) for e in entries]
+
+
+# -- plan and injector ---------------------------------------------------------------
+
+
+class TestFaultPlan:
+    EVENTS = [
+        {"site": "net.write", "kind": "torn", "within": 20, "arg_max": 100},
+        {"site": "server.request", "kind": "kill", "within": 5},
+        {"site": "sink.write", "kind": "truncate", "within": 3, "arg": 7},
+    ]
+
+    def test_seeded_is_deterministic_and_round_trips(self):
+        plan = FaultPlan.seeded(1234, self.EVENTS)
+        again = FaultPlan.seeded(1234, self.EVENTS)
+        assert plan.to_json() == again.to_json()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.specs == plan.specs
+        assert restored.seed == 1234
+        # fixed arg passes through the draw untouched
+        assert plan.specs[2].arg == 7
+        for spec in plan.specs:
+            assert 1 <= spec.at
+
+    def test_unknown_site_kind_and_bad_at_rejected(self):
+        with pytest.raises(ExplorationError, match="unknown fault site"):
+            FaultSpec(site="disk.write", kind="drop", at=1)
+        with pytest.raises(ExplorationError, match="unknown fault kind"):
+            FaultSpec(site="net.read", kind="explode", at=1)
+        with pytest.raises(ExplorationError, match="1-based"):
+            FaultSpec(site="net.read", kind="drop", at=0)
+        with pytest.raises(ExplorationError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"site": "net.read", "kind": "drop", "at": 1, "x": 2})
+        with pytest.raises(ExplorationError, match="'specs' list"):
+            FaultPlan.from_json("[]")
+
+    def test_install_from_env_inline_json_and_file(self, tmp_path):
+        plan = FaultPlan(specs=[FaultSpec("net.read", "drop", at=2)], seed=9)
+        injector = faults.install_from_env({faults.FAULTS_ENV: plan.to_json()})
+        assert injector is faults.active()
+        assert injector.plan.specs == plan.specs
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        from_file = faults.install_from_env({faults.FAULTS_ENV: str(path)})
+        assert from_file.plan.specs == plan.specs
+        # unset env is a no-op that keeps whatever is armed
+        assert faults.install_from_env({}) is from_file
+
+
+class TestFaultInjector:
+    def test_fires_exactly_once_at_nth_event(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("sink.write", "error", at=3)])
+        )
+        fired_at = []
+        for event in range(1, 6):
+            try:
+                injector.apply("sink.write")
+            except InjectedFault:
+                fired_at.append(event)
+        assert fired_at == [3]
+        assert injector.fired == [("sink.write", "error", 3)]
+        assert injector.count("sink.write") == 5
+
+    def test_drop_is_a_connection_error(self):
+        injector = FaultInjector(FaultPlan(specs=[FaultSpec("net.read", "drop", at=1)]))
+        with pytest.raises(ConnectionError):
+            injector.apply("net.read")
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("client.recv", "drop", at=1)])
+        )
+        assert injector.apply("client.send") is None
+        with pytest.raises(InjectedDisconnect):
+            injector.apply("client.recv")
+
+    def test_delay_sleeps(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("server.request", "delay", at=1, arg=0.05)])
+        )
+        start = time.monotonic()
+        assert injector.apply("server.request") is None
+        assert time.monotonic() - start >= 0.04
+
+    def test_torn_and_truncate_return_to_caller(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("net.write", "torn", at=1, arg=5)])
+        )
+        spec = injector.apply("net.write")
+        assert spec is not None and spec.kind == "torn" and spec.arg == 5
+
+    def test_apply_async_delay(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("net.read", "delay", at=1, arg=0.05)])
+        )
+
+        async def go():
+            start = time.monotonic()
+            spec = await injector.apply_async("net.read")
+            return spec, time.monotonic() - start
+
+        spec, elapsed = asyncio.run(go())
+        assert spec is None and elapsed >= 0.04
+
+
+# -- torn-checkpoint recovery --------------------------------------------------------
+
+
+class RecordingSink(ResultSink):
+    def __init__(self):
+        self.records = []
+
+    def emit(self, outcome, score):
+        self.records.append((outcome, score))
+
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    """One small real sweep: its outcomes, meta, and reference checkpoint."""
+    op = gemm(12, 12, 12)
+    arch = make_arch(pe_dims=(4, 4))
+    engine = EvaluationEngine(op, arch, cache=RelationCache())
+    recorder = RecordingSink()
+    reference = tmp_path_factory.mktemp("faults") / "reference.jsonl"
+    session = SweepSession(engine, checkpoint=str(reference), sinks=[recorder])
+    candidates = list(
+        pruned_candidates(op, pe_dims=(4, 4), allow_packing=True, max_candidates=6)
+    )
+    session.run(candidates)
+    assert recorder.records, "sweep produced no outcomes"
+    return SimpleNamespace(
+        records=recorder.records,
+        meta=session.meta(None),
+        reference=reference,
+        rendered=render_ranking(load_ranking(reference)),
+    )
+
+
+class TestTornCheckpointRecovery:
+    def test_recovery_at_every_truncation_offset(self, swept, tmp_path):
+        """A crash at *any* byte of the final record loses at most that record,
+        and a resume reproduces the undisturbed ranking bit for bit."""
+        last_line = swept.reference.read_text(encoding="utf-8").splitlines(
+            keepends=True
+        )[-1]
+        n_records = len(swept.records)
+        for k in range(len(last_line) + 1):
+            chaos = tmp_path / f"chaos-{k}.jsonl"
+            injector = FaultInjector(
+                FaultPlan(
+                    specs=[FaultSpec("sink.write", "truncate", at=n_records, arg=k)]
+                )
+            )
+            sink = JsonlCheckpointSink(chaos, fault_injector=injector)
+            sink.open(swept.meta)
+            with pytest.raises(InjectedFault, match="torn after"):
+                for outcome, score in swept.records:
+                    sink.emit(outcome, score)
+            sink.close()
+            resumed = JsonlCheckpointSink(chaos, resume=True)
+            resumed.open(swept.meta)
+            # The torn prefix parses as a record only once it covers the whole
+            # JSON body (the trailing newline is optional); any shorter prefix
+            # drops exactly the final record.
+            survived = k >= len(last_line) - 1
+            assert len(resumed.completed) == n_records - (0 if survived else 1)
+            for outcome, score in swept.records:
+                if outcome.signature not in resumed.completed:
+                    resumed.emit(outcome, score)
+            resumed.close()
+            assert render_ranking(load_ranking(chaos)) == swept.rendered
+
+    def test_fsync_every_keeps_records_identical(self, swept, tmp_path):
+        path = tmp_path / "fsynced.jsonl"
+        sink = JsonlCheckpointSink(path, fsync_every=2)
+        sink.open(swept.meta)
+        for outcome, score in swept.records:
+            sink.emit(outcome, score)
+        sink.close()
+        assert render_ranking(load_ranking(path)) == swept.rendered
+
+    def test_fsync_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ExplorationError, match="fsync_every"):
+            JsonlCheckpointSink(tmp_path / "x.jsonl", fsync_every=-1)
+
+
+# -- client retry discipline (scripted fake server) ----------------------------------
+
+
+class FakeServer:
+    """A line server whose replies are scripted per request.
+
+    ``responder(conn_index, record)`` returns a dict reply, raw ``bytes``
+    (sent verbatim, then the connection closes — a torn write), or ``None``
+    (close the connection without replying).
+    """
+
+    def __init__(self, responder):
+        self.responder = responder
+        self.received = []
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        conn_index = 0
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            conn_index += 1
+            with conn, conn.makefile("rb") as reader:
+                for line in reader:
+                    record = json.loads(line)
+                    self.received.append((conn_index, record))
+                    try:
+                        reply = self.responder(conn_index, record)
+                    except Exception:  # noqa: BLE001 - scripted close
+                        break
+                    if reply is None:
+                        break
+                    if isinstance(reply, bytes):
+                        conn.sendall(reply)
+                        break
+                    conn.sendall(json.dumps(reply).encode("utf-8") + b"\n")
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def fake_server():
+    servers = []
+
+    def factory(responder):
+        server = FakeServer(responder)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+class TestClientRetryDiscipline:
+    def test_injected_send_drop_is_retried_with_retry_tag(self, fake_server):
+        server = fake_server(
+            lambda conn, rec: {"pong": True, "retry_seen": rec.get("retry", False)}
+        )
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("client.send", "drop", at=1)])
+        )
+        with SweepClient(
+            "127.0.0.1",
+            server.port,
+            timeout=5,
+            deadline=5,
+            backoff_base=0.001,
+            jitter_seed=0,
+            fault_injector=injector,
+        ) as client:
+            record = client.request({"cmd": "stats"})
+        assert record["retry_seen"] is True
+        assert client.retries_sent == 1
+
+    def test_overloaded_retried_only_with_deadline(self, fake_server):
+        state = {"count": 0}
+
+        def responder(conn, rec):
+            state["count"] += 1
+            if state["count"] == 1:
+                return {"error": "queue full", "code": "overloaded"}
+            return {"done": True}
+
+        server = fake_server(responder)
+        with SweepClient(
+            "127.0.0.1", server.port, timeout=5, deadline=5, backoff_base=0.001
+        ) as client:
+            assert client.request({"cmd": "stats"})["done"] is True
+
+        # Without a deadline the structured reply comes back unchanged.
+        state["count"] = 0
+        with SweepClient("127.0.0.1", server.port, timeout=5) as client:
+            record = client.request({"cmd": "stats"})
+        assert record["code"] == "overloaded"
+
+    def test_deadline_bounds_overload_retries(self, fake_server):
+        server = fake_server(
+            lambda conn, rec: {"error": "queue full", "code": "overloaded"}
+        )
+        with SweepClient(
+            "127.0.0.1", server.port, timeout=5, deadline=0.25, backoff_base=0.01
+        ) as client:
+            start = time.monotonic()
+            with pytest.raises(ExplorationError, match="overloaded"):
+                client.sweep("gemm", [4, 4, 4])
+            assert time.monotonic() - start >= 0.2
+
+    def test_unreachable_server_raises_after_deadline(self):
+        client = SweepClient(
+            "127.0.0.1", free_port(), timeout=1, deadline=0.3, backoff_base=0.01
+        )
+        with pytest.raises(ExplorationError, match="unreachable.*deadline"):
+            client.request({"cmd": "stats"})
+        assert client.retries_sent >= 1
+
+    def test_recv_preserves_pending_and_recover_resubmits(self, fake_server):
+        # Server A answers the first request, then dies mid-pipeline.
+        server_a = fake_server(
+            lambda conn, rec: {"id": rec["id"]} if rec["id"] == "req-1" else None
+        )
+        client = SweepClient(
+            "127.0.0.1", server_a.port, timeout=5, deadline=5, backoff_base=0.001
+        )
+        client.submit({"cmd": "stats"})
+        client.submit({"cmd": "stats"})
+        assert client.recv()["id"] == "req-1"
+        with pytest.raises(PipelineBrokenError, match="req-2") as excinfo:
+            client.recv()
+        assert excinfo.value.pending == ["req-2"]
+        assert client.pending == 1, "pending state must survive the break"
+
+        # Recover onto a fresh server at a new address.
+        server_b = fake_server(
+            lambda conn, rec: {"id": rec["id"], "retry": rec.get("retry", False)}
+        )
+        assert client.recover("127.0.0.1", server_b.port) == ["req-2"]
+        records = client.drain()
+        assert [r["id"] for r in records] == ["req-2"]
+        assert records[0]["retry"] is True
+        assert client.pending == 0
+        client.close()
+
+    def test_torn_response_line_is_a_connection_loss(self, fake_server):
+        server = fake_server(lambda conn, rec: b'{"id": "req-1"')
+        client = SweepClient("127.0.0.1", server.port, timeout=5)
+        client.submit({"cmd": "stats"})
+        with pytest.raises(PipelineBrokenError, match="torn line"):
+            client.recv()
+        assert client.pending == 1
+        client.close()
+
+    def test_backoff_is_exponential_jittered_and_capped(self):
+        client = SweepClient(backoff_base=0.1, backoff_max=0.5, jitter_seed=7)
+        delays = [client._backoff_delay(attempt) for attempt in range(1, 8)]
+        for attempt, delay in enumerate(delays, start=1):
+            ceiling = min(0.5, 0.1 * (2 ** (attempt - 1)))
+            assert ceiling * 0.5 <= delay <= ceiling
+        again = SweepClient(backoff_base=0.1, backoff_max=0.5, jitter_seed=7)
+        assert delays == [again._backoff_delay(a) for a in range(1, 8)]
+
+
+# -- service watchdog and torn writes (real service) ---------------------------------
+
+
+class ServiceHarness:
+    """Run a :class:`SweepService` TCP loop on a background thread."""
+
+    def __init__(self, **service_kwargs):
+        self.service = SweepService(**service_kwargs)
+        self.host = None
+        self.port = None
+        self.loop = None
+        self.error = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _announce(self, host, port):
+        self.host, self.port = host, port
+        self._ready.set()
+
+    def _run(self):
+        async def main():
+            self.loop = asyncio.get_running_loop()
+            try:
+                await self.service.serve_tcp("127.0.0.1", 0, announce=self._announce)
+            finally:
+                await self.service.aclose()
+
+        try:
+            asyncio.run(main())
+        except BaseException as error:  # noqa: BLE001 - surfaced to the test
+            self.error = error
+        finally:
+            self._ready.set()
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(30), "service never announced its address"
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def stop(self, timeout=30.0):
+        if self._thread.is_alive() and self.loop is not None:
+            self.loop.call_soon_threadsafe(self.service.request_drain)
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "service thread did not drain"
+        if self.error is not None:
+            raise self.error
+
+    def client(self, **kwargs):
+        return SweepClient(self.host, self.port, **kwargs)
+
+
+@pytest.fixture
+def harness():
+    started = []
+
+    def factory(**kwargs):
+        instance = ServiceHarness(**kwargs).start()
+        started.append(instance)
+        return instance
+
+    yield factory
+    for instance in started:
+        instance.stop()
+
+
+class TestServiceWatchdog:
+    def test_hung_request_times_out_and_server_stays_usable(self, harness):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("server.request", "delay", at=1, arg=1.5)])
+        )
+        instance = harness(
+            max_workers=2, request_timeout=0.4, fault_injector=injector
+        )
+        with instance.client(timeout=30) as client:
+            start = time.monotonic()
+            record = client.request(
+                {"kernel": "gemm", "sizes": [12, 12, 12], "max_candidates": 4}
+            )
+            elapsed = time.monotonic() - start
+            assert record["code"] == "timeout"
+            assert "watchdog" in record["error"]
+            # The reply must beat the injected 1.5s hang: the watchdog
+            # unblocked the connection, not the hung worker finishing.
+            assert elapsed < 1.4
+            # The service keeps serving: a second request (fresh engine, free
+            # worker) completes normally.
+            result = client.sweep("gemm", [13, 13, 13], max_candidates=4)
+            assert result["top"]
+            stats = client.stats()
+            assert stats["faults"]["request_timeouts"] == 1
+
+    def test_retries_served_counter(self, harness):
+        instance = harness(max_workers=2)
+        with instance.client(timeout=30) as client:
+            record = client.request(
+                {
+                    "kernel": "gemm",
+                    "sizes": [12, 12, 12],
+                    "max_candidates": 4,
+                    "retry": True,
+                }
+            )
+            assert record["top"]
+            assert client.stats()["faults"]["retries_served"] == 1
+
+    def test_torn_server_write_recovers_on_resubmit(self, harness):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("net.write", "torn", at=1, arg=5)])
+        )
+        instance = harness(max_workers=2, fault_injector=injector)
+        with instance.client(timeout=30, deadline=20, backoff_base=0.01) as client:
+            request = {"kernel": "gemm", "sizes": [12, 12, 12], "max_candidates": 4}
+            client.submit(request)
+            client.submit(dict(request, objective="energy"))
+            with pytest.raises(PipelineBrokenError) as excinfo:
+                client.drain()
+            assert excinfo.value.pending, "outstanding ids must be reported"
+            assert client.pending == 2
+            client.recover()
+            records = client.drain()
+            assert [r["id"] for r in records] == ["req-1", "req-2"]
+            assert all(r["top"] for r in records)
+            assert client.stats()["faults"]["retries_served"] == 2
+
+
+# -- engine-build quarantine ---------------------------------------------------------
+
+
+class TestEngineQuarantine:
+    def test_build_failure_quarantines_key_until_cooldown(self):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("engine.build", "error", at=1)])
+        )
+        with SweepServer(
+            max_workers=1, quarantine_cooldown=0.3, fault_injector=injector
+        ) as server:
+            request = SweepRequest.from_dict(
+                {"kernel": "gemm", "sizes": [12, 12, 12], "max_candidates": 4}
+            )
+            with pytest.raises(InjectedFault):
+                server.submit(request)
+            # Fail fast until the cooldown passes — no rebuild attempt.
+            with pytest.raises(EngineQuarantinedError, match="quarantined"):
+                server.submit(request)
+            stats = server.stats()
+            assert stats["engine_build_failures"] == 1
+            assert stats["quarantined_engines"] == 1
+            # Other engine keys are unaffected.
+            other = SweepRequest.from_dict(
+                {"kernel": "gemm", "sizes": [13, 13, 13], "max_candidates": 4}
+            )
+            result, _ = server.submit(other).result(timeout=120)
+            assert result.ranking
+            # After the cooldown the build is retried (and now succeeds).
+            time.sleep(0.35)
+            result, _ = server.submit(request).result(timeout=120)
+            assert result.ranking
+            assert server.stats()["quarantined_engines"] == 0
+
+    def test_quarantine_code_reaches_the_wire(self, harness):
+        injector = FaultInjector(
+            FaultPlan(specs=[FaultSpec("engine.build", "error", at=1)])
+        )
+        instance = harness(max_workers=2, fault_injector=injector)
+        with instance.client(timeout=30) as client:
+            request = {"kernel": "gemm", "sizes": [12, 12, 12], "max_candidates": 4}
+            first = client.request(request)
+            assert "injected failure" in first["error"]
+            second = client.request(request)
+            assert second["code"] == "quarantined"
+            stats = client.stats()
+            assert stats["faults"]["engine_build_failures"] == 1
+            assert stats["faults"]["quarantined_engines"] == 1
+
+
+# -- protocol error records ----------------------------------------------------------
+
+
+class TestErrorRecords:
+    def test_error_record_shape(self):
+        record = error_record(
+            "gemm", ValueError("boom"), code="bad-request", request_id="r1"
+        )
+        assert record == {
+            "id": "r1",
+            "kernel": "gemm",
+            "error": "ValueError: boom",
+            "code": "bad-request",
+        }
+        bare = error_record(None, RuntimeError("x"))
+        assert "id" not in bare and "code" not in bare
+        assert bare["kernel"] is None
+
+    def test_malformed_request_lines_get_error_replies(self):
+        lines = [
+            "this is not json",
+            "[1, 2, 3]",
+            json.dumps({"kernel": "gemm", "sizes": "123"}),
+            json.dumps(
+                {"kernel": "gemm", "sizes": [12, 12, 12], "bogus": 1, "id": "x"}
+            ),
+            json.dumps({"cmd": "reboot"}),
+        ]
+        out = []
+        served = serve_lines(lines, emit=out.append)
+        assert served == len(lines)
+        records = [json.loads(line) for line in out]
+        assert all("error" in record for record in records)
+        assert "JSON" in records[0]["error"] or "Expecting" in records[0]["error"]
+        assert "JSON object" in records[1]["error"]
+        assert "list of integers" in records[2]["error"]
+        assert "unknown sweep request fields" in records[3]["error"]
+        assert records[3]["id"] == "x"
+        assert "unknown control command" in records[4]["error"]
+        assert records[4]["code"] == "bad-request"
