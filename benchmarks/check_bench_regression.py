@@ -10,6 +10,14 @@ Two metrics are compared against the tolerance (default 20%):
 * ``fused_speedup`` — fused-vs-affine measured in the *same* run, which is
   machine-class invariant.
 
+One structural invariant is additionally asserted on the *current* file
+alone: when the zero-copy benchmark records ``parallel_speedup`` (the
+adaptive ``jobs=2`` path versus serial), a sweep slower than serial beyond
+the 5% timer-noise floor fails outright — the parallel path must never be a
+pessimisation again, whatever the runner class.  (The tuner guarantees this
+structurally by declining a pool the batch cannot amortise, so the ratio
+sits at parity or better; well under parity means the decision logic broke.)
+
 The machine-invariant ratio is the authoritative gate whenever both files
 record it: a regressed ratio fails even on a runner fast enough to keep the
 absolute number above the floor, and a slower runner with a healthy ratio
@@ -29,6 +37,7 @@ import json
 import sys
 
 DEFAULT_BENCHMARK = "engine_sweep_gemm48x100"
+PARALLEL_BENCHMARK = "engine_sweep_parallel_zero_copy_gemm48x40"
 
 
 def load_records(path: str) -> dict[str, dict]:
@@ -60,6 +69,25 @@ def compare(name: str, baseline: float, current: float, tolerance: float) -> boo
     return ok
 
 
+PARALLEL_NOISE_FLOOR = 0.95
+
+
+def check_parallel_speedup(current_records: dict[str, dict]) -> bool:
+    """The adaptive jobs=2 path must not be slower than serial (modulo timer
+    noise); returns True when sound."""
+    record = current_records.get(PARALLEL_BENCHMARK)
+    if record is None or "parallel_speedup" not in record:
+        print(f"no {PARALLEL_BENCHMARK!r} parallel_speedup in the current run; "
+              "parallel gate skipped")
+        return True
+    speedup = float(record["parallel_speedup"])
+    ok = speedup >= PARALLEL_NOISE_FLOOR
+    print(f"{PARALLEL_BENCHMARK}.parallel_speedup: {speedup:.2f} "
+          f"(floor {PARALLEL_NOISE_FLOOR}) "
+          f"-> {'ok' if ok else 'parallel slower than serial'}")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -80,6 +108,14 @@ def main(argv=None) -> int:
         print(f"error: {args.current} has no benchmark records")
         return 2
     baseline_records = load_records(args.baseline)
+
+    if not check_parallel_speedup(current_records):
+        print(
+            "a warm jobs=2 sweep ran slower than serial: the parallel "
+            "dispatch path is a pessimisation again; investigate before "
+            "merging"
+        )
+        return 1
 
     # Gate only on benchmarks present in BOTH files: a record renamed or
     # newly added on one side is a trajectory change to note, not a failure.

@@ -335,32 +335,52 @@ def test_bench_backend_fallback_and_wide_interval(bench_record):
 
 
 def test_bench_parallel_zero_copy_relations(bench_record):
-    """``jobs>1`` workers map the relations zero-copy and agree bit for bit.
+    """``jobs=2`` is no longer slower than serial, and workers stay zero-copy.
 
-    The pool initializer ships one shared-memory descriptor per worker; every
-    worker's first ``relations()`` call must therefore *hit* its seeded cache
-    (zero misses — before PR 4 each worker re-materialised privately).  The
-    wall-clock record tracks the end-to-end parallel sweep; no speedup is
-    asserted because CI machines may expose a single core.
+    Two measurements:
+
+    * the **raw warm pool** (pool spun up, shared relations mapped, layouts
+      compiled; best of two rounds) — this is where the zero-copy claim is
+      asserted (every worker's first ``relations()`` call must *hit* its
+      seeded cache) and where the chunk floor keeps tasks large enough to
+      amortise dispatch; the wall clock is recorded informationally because
+      its speedup is machine-class dependent (a single-core runner cannot
+      win);
+    * the **adaptive jobs=2 path** — an engine *configured* ``jobs=2`` with
+      tuning on, which measures per-candidate cost and declines a pool it
+      cannot amortise (this 40-candidate batch carries ~0.3s of work against
+      a ~1.5s cold spin-up).  This is the fix for the committed regression
+      (``jobs=2`` 1.9x slower than serial): the recorded ``parallel_speedup``
+      gates in ``check_bench_regression.py`` so a jobs=2 sweep slower than
+      serial fails main again.
     """
     op = gemm(GEMM_SIZE, GEMM_SIZE, GEMM_SIZE)
     arch = make_arch(pe_dims=PE_DIMS, interconnect="2d-systolic")
-    candidates = sweep_candidates(op, count=40)
+    candidates = sweep_candidates(op, count=42)
+    bench_cands, warm_cands = candidates[:40], candidates[40:]
 
-    serial_batch, serial_seconds, serial_engine = timed_sweep(
-        op, arch, candidates, "fused", repeats=1
+    serial_batch, _, serial_engine = timed_sweep(
+        op, arch, bench_cands, "fused", repeats=1, memoize=False
     )
-    engine = EvaluationEngine(op, arch, jobs=2, cache=RelationCache(), backend="fused")
-    try:
-        started = time.perf_counter()
-        parallel_batch = engine.evaluate_batch(candidates)
-        parallel_seconds = time.perf_counter() - started
-        cache_stats = engine.cache_stats()
-    finally:
-        engine.close()
 
-    assert len(parallel_batch.reports) == len(serial_batch.reports) == len(candidates)
-    for reference, candidate in zip(serial_batch.reports, parallel_batch.reports):
+    pool_engine = EvaluationEngine(
+        op, arch, jobs=2, cache=RelationCache(), backend="fused", memoize=False
+    )
+    try:
+        # Warm the pool on two disjoint candidates: worker spawn, shared
+        # relation mapping, and per-worker layout compilation happen here.
+        pool_engine.evaluate_batch(warm_cands)
+        pool_seconds = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            pool_batch = pool_engine.evaluate_batch(bench_cands)
+            pool_seconds = min(pool_seconds, time.perf_counter() - started)
+        cache_stats = pool_engine.cache_stats()
+    finally:
+        pool_engine.close()
+
+    assert len(pool_batch.reports) == len(serial_batch.reports) == len(bench_cands)
+    for reference, candidate in zip(serial_batch.reports, pool_batch.reports):
         assert comparable(reference) == comparable(candidate)
     assert cache_stats["worker_misses"] == 0, (
         f"workers re-materialised relations instead of mapping shared memory: "
@@ -368,14 +388,126 @@ def test_bench_parallel_zero_copy_relations(bench_record):
     )
     assert cache_stats["worker_hits"] > 0
 
+    tuned_engine = EvaluationEngine(
+        op, arch, jobs=2, cache=RelationCache(), backend="fused",
+        memoize=False, tune="auto",
+    )
+    try:
+        # Untimed warm pass: compiles layouts and completes calibration, so
+        # the timed rounds measure the steady-state adaptive path.  Rounds
+        # interleave serial and tuned so systemic noise (CPU contention,
+        # frequency scaling) inflates both sides of a round equally and the
+        # per-side minimum discards it.
+        tuned_engine.evaluate_batch(bench_cands)
+        serial_seconds = tuned_seconds = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            serial_batch = serial_engine.evaluate_batch(bench_cands)
+            serial_seconds = min(serial_seconds, time.perf_counter() - started)
+            started = time.perf_counter()
+            tuned_batch = tuned_engine.evaluate_batch(bench_cands)
+            tuned_seconds = min(tuned_seconds, time.perf_counter() - started)
+        tuner_decisions = list(tuned_engine.tuner.decisions)
+    finally:
+        tuned_engine.close()
+
+    for reference, candidate in zip(serial_batch.reports, tuned_batch.reports):
+        assert comparable(reference) == comparable(candidate)
+
+    parallel_speedup = serial_seconds / tuned_seconds
     print(f"\nzero-copy parallel sweep: serial {serial_seconds:.2f}s, "
-          f"jobs=2 {parallel_seconds:.2f}s, worker cache {cache_stats}")
+          f"raw jobs=2 pool {pool_seconds:.2f}s, adaptive jobs=2 "
+          f"{tuned_seconds:.2f}s ({parallel_speedup:.2f}x), "
+          f"worker cache {cache_stats}")
+    print(f"tuner decisions: {tuner_decisions}")
     bench_record(
         "engine_sweep_parallel_zero_copy_gemm48x40",
         serial_seconds=round(serial_seconds, 3),
-        parallel_seconds=round(parallel_seconds, 3),
+        pool_seconds=round(pool_seconds, 3),
+        parallel_seconds=round(tuned_seconds, 3),
+        parallel_speedup=round(parallel_speedup, 2),
         worker_cache_hits=cache_stats["worker_hits"],
         worker_cache_misses=cache_stats["worker_misses"],
+    )
+
+
+def test_bench_autotune_sweep(bench_record, tmp_path):
+    """Auto-tuned sweeps are bit-identical to untuned ones and at least as fast.
+
+    Calibration runs once on its own engine (measuring backends and batch
+    size, fitting the best-first ranker from the checkpoint it writes); the
+    timed tuned run then pins that learned profile, exactly how a resumed or
+    repeated production sweep reuses a checkpointed profile.  Both timed runs
+    are steady-state (memoisation off, caches warm, interleaved rounds,
+    per-side minimum) on the same 100-candidate gemm48 sweep.
+    """
+    from repro.sweep import SweepSession
+
+    op = gemm(GEMM_SIZE, GEMM_SIZE, GEMM_SIZE)
+    arch = make_arch(pe_dims=PE_DIMS, interconnect="2d-systolic")
+    candidates = sweep_candidates(op)
+    cache = RelationCache()
+
+    calib_engine = EvaluationEngine(
+        op, arch, cache=cache, backend="auto", memoize=False, tune="auto"
+    )
+    calib_session = SweepSession(
+        calib_engine, objective="latency", batch_size=64,
+        checkpoint=str(tmp_path / "calib.jsonl"),
+    )
+    calib_result = calib_session.run(candidates)
+    profile = calib_engine.tuner.profile_dict()
+    calib_engine.close()
+    assert profile["calibrated"], profile
+
+    untuned_engine = EvaluationEngine(
+        op, arch, cache=cache, backend="auto", memoize=False
+    )
+    tuned_engine = EvaluationEngine(
+        op, arch, cache=cache, backend="auto", memoize=False, tune=profile
+    )
+    untuned_engine.evaluate(candidates[0])
+    tuned_engine.evaluate(candidates[0])
+
+    seconds = {"untuned": float("inf"), "tuned": float("inf")}
+    results = {}
+    for _ in range(2):
+        for label, engine in (("untuned", untuned_engine), ("tuned", tuned_engine)):
+            reset_memos(engine)
+            session = SweepSession(engine, objective="latency", batch_size=64)
+            started = time.perf_counter()
+            results[label] = session.run(candidates)
+            seconds[label] = min(seconds[label], time.perf_counter() - started)
+
+    untuned_engine.close()
+    tuned_engine.close()
+
+    def ranking_key(result):
+        return [(e.signature, e.name, e.score) for e in result.ranking]
+
+    assert ranking_key(results["tuned"]) == ranking_key(results["untuned"])
+    assert ranking_key(results["tuned"]) == ranking_key(calib_result)
+    assert results["tuned"].num_candidates == results["untuned"].num_candidates
+
+    untuned_cps = NUM_CANDIDATES / seconds["untuned"]
+    tuned_cps = NUM_CANDIDATES / seconds["tuned"]
+    speedup = seconds["untuned"] / seconds["tuned"]
+    print(f"\nautotuned sweep: untuned {seconds['untuned']:.2f}s "
+          f"({untuned_cps:.0f} cand/s), tuned {seconds['tuned']:.2f}s "
+          f"({tuned_cps:.0f} cand/s, {speedup:.2f}x)")
+    print(f"tuner decisions: {profile['decisions']}")
+    bench_record(
+        "autotune_gemm48",
+        untuned_seconds=round(seconds["untuned"], 3),
+        tuned_seconds=round(seconds["tuned"], 3),
+        untuned_candidates_per_sec=round(untuned_cps, 1),
+        tuned_candidates_per_sec=round(tuned_cps, 1),
+        tuned_speedup=round(speedup, 2),
+        tuned_backend=profile["backend"],
+        tuned_batch_size=profile["batch_size"],
+    )
+    assert speedup >= 0.9, (
+        f"auto-tuning made the sweep materially slower ({speedup:.2f}x)"
     )
 
 

@@ -19,6 +19,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -117,6 +118,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             backend=args.backend,
             device=args.device,
             batch_size=args.batch_size,
+            tune="auto" if args.tune else "off",
         )
     except ExplorationError as error:
         # Most commonly a capability error from --device: the message lists
@@ -142,6 +144,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         checkpoint_fsync=args.checkpoint_fsync if args.checkpoint_fsync > 0 else None,
     )
     print(result.summary(count=args.top))
+    if explorer.engine.tuner is not None:
+        # Lock in whatever was measured so --profile/--profile-json report
+        # final decisions, not a mid-calibration snapshot.
+        explorer.engine.tuner.finalize()
     stats = explorer.engine.stats
     cache_stats = explorer.engine.cache_stats()
     print(
@@ -177,6 +183,43 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         }
         if kernel_stats:
             print(f"  kernels: {kernel_stats}")
+        if explorer.engine.tuner is not None:
+            decisions = explorer.engine.tuner.decisions
+            print("  tuning decisions:")
+            for decision in decisions or ["(calibration incomplete)"]:
+                print(f"    - {decision}")
+    if args.profile_json:
+        engine = explorer.engine
+        tuner = engine.tuner
+        if tuner is not None:
+            tuner.finalize()
+        payload = {
+            "command": "explore",
+            "kernel": args.kernel,
+            "sizes": list(args.sizes),
+            "objective": args.objective,
+            "backend_requested": args.backend,
+            "backend": engine.backend_name,
+            "namespace": f"{engine.xp.name}:{engine.xp.device}",
+            "jobs": args.jobs,
+            "stages": {k: round(v, 6) for k, v in engine.profile().items()},
+            "stats": dict(engine.stats),
+            "relation_cache": engine.cache_stats(),
+            "sweep": {
+                "candidates": result.num_candidates,
+                "evaluated": result.evaluated_count,
+                "invalid": len(result.failures),
+                "pruned": len(result.pruned),
+                "duplicates": result.duplicates,
+                "skipped": result.skipped,
+                "batches": result.batches,
+                "seconds": round(result.seconds, 6),
+            },
+            "tuning": tuner.profile_dict() if tuner is not None else None,
+        }
+        with open(args.profile_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0
 
 
@@ -222,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
             request_timeout=args.request_timeout,
+            tune="auto" if args.tune else "off",
             announce=announce,
         )
         print(f"served {served} sweep request(s)", file=sys.stderr)
@@ -243,6 +287,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
             request_timeout=args.request_timeout,
+            tune="auto" if args.tune else "off",
         )
     finally:
         if stream is not sys.stdin:
@@ -327,6 +372,17 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--top", type=int, default=5,
                          help="how many best dataflows to print; also bounds the "
                               "in-memory ranking (the checkpoint keeps the full record)")
+    explore.add_argument("--tune", action=argparse.BooleanOptionalAction, default=False,
+                         help="measurement-driven auto-tuning: calibrate backend/batch "
+                              "size/jobs on the sweep's first batches and order "
+                              "candidates best-first from checkpointed history; "
+                              "never changes which reports are produced, only "
+                              "evaluation order and speed (--no-tune pins the "
+                              "static defaults)")
+    explore.add_argument("--profile-json", default=None, metavar="PATH",
+                         help="write per-stage timers, engine stats and tuner "
+                              "decisions as JSON to PATH (machine-readable "
+                              "--profile, diffable in CI)")
     explore.add_argument("--profile", action="store_true",
                          help="print the per-stage timing breakdown (materialise / "
                               "stamps / volumes / rank) after the sweep")
@@ -388,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="array namespace for every warm engine (see "
                             "'tenet explore --device')")
     serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--tune", action=argparse.BooleanOptionalAction, default=False,
+                       help="auto-tune warm engines: calibrate on each engine's "
+                            "first request, re-batch later requests from the "
+                            "measurements, and shed load when the measured "
+                            "request rate predicts hopeless queue waits; "
+                            "results are bit-identical either way")
     serve.set_defaults(handler=_cmd_serve)
 
     merge = subparsers.add_parser(

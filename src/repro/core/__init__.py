@@ -33,6 +33,7 @@ from repro.core.engine import (
     dataflow_signature,
 )
 from repro.core.notation import dataflow_shorthand, parse_shorthand_name
+from repro.core.tuning import AutoTuner, ScoreRanker
 
 __all__ = [
     "Dataflow",
@@ -56,4 +57,6 @@ __all__ = [
     "dataflow_signature",
     "dataflow_shorthand",
     "parse_shorthand_name",
+    "AutoTuner",
+    "ScoreRanker",
 ]

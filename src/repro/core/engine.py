@@ -783,6 +783,27 @@ class BatchResult:
         ]
 
 
+#: Minimum candidates per parallel task.  A task's dispatch cost (pickling
+#: candidates, queue round-trips, shipping outcomes back) is roughly constant
+#: and the fused backend stacks stamps across a task's whole slice, so tiny
+#: tasks pay full freight for almost no work — the committed ``jobs=2``
+#: slower-than-serial regression on 40-candidate batches.
+MIN_TASK_CANDIDATES = 8
+
+
+def parallel_task_chunk(count: int, jobs: int) -> int:
+    """Per-task candidate count for a parallel batch.
+
+    Targets ~4 tasks per worker for load balance, floored at
+    :data:`MIN_TASK_CANDIDATES` so dispatch overhead amortises, and capped at
+    an even split so the floor never leaves a worker idle on small batches.
+    """
+    jobs = max(1, jobs)
+    balanced = -(-count // (jobs * 4))
+    even_split = -(-count // jobs)
+    return max(1, min(max(MIN_TASK_CANDIDATES, balanced), even_split))
+
+
 class EvaluationEngine:
     """Evaluate candidate dataflows for one (operation, architecture) pair.
 
@@ -808,6 +829,7 @@ class EvaluationEngine:
         memoize: bool = True,
         backend: str = "auto",
         device: str = "numpy",
+        tune: str | dict | bool | None = "off",
     ):
         self.op = op
         self.arch = arch
@@ -882,6 +904,46 @@ class EvaluationEngine:
             # namespaces; stays 0.0 on the host namespace.
             "transfer": 0.0,
         }
+        #: Optional measurement-driven controller (:mod:`repro.core.tuning`):
+        #: ``"auto"`` calibrates batch/backend/jobs on the first batches,
+        #: a profile dict pins previously learned decisions, ``"off"`` keeps
+        #: every knob exactly as constructed.  Tuning never changes which
+        #: reports are produced — only evaluation order and speed.
+        self.tuner = None
+        if tune not in (None, False, "off"):
+            from repro.core.tuning import AutoTuner
+
+            if tune in (True, "auto"):
+                self.tuner = AutoTuner(self)
+            elif isinstance(tune, dict):
+                self.tuner = AutoTuner(self, profile=tune)
+            else:
+                raise ExplorationError(
+                    f"tune must be 'auto', 'off', or a tuning profile dict; "
+                    f"got {tune!r}"
+                )
+
+    def set_backend(self, backend: str) -> None:
+        """Switch the evaluation backend in place (tuner calibration races).
+
+        Safe mid-sweep because every backend is bit-identical; only cost
+        changes.  The worker pool (whose workers captured the old backend at
+        initialisation) is torn down and lazily rebuilt on the next parallel
+        batch.
+        """
+        backend = str(backend)
+        if backend == self.backend_name:
+            return
+        if not self.xp.is_numpy and backend == "interp":
+            raise ExplorationError(
+                "backend 'interp' evaluates on the host interpreter and does "
+                f"not support device '{self.device_name}'; use a compiled "
+                "backend (auto/affine/bitset/fused)"
+            )
+        self.backend_name = backend
+        self.backend = make_backend(backend, self)
+        if self._pool is not None:
+            self.close()
 
     def close(self) -> None:
         """Shut down the persistent worker pool and release shared memory.
@@ -1204,7 +1266,16 @@ class EvaluationEngine:
             )
         started = time.perf_counter()
         jobs = self.jobs if jobs is None else max(1, int(jobs))
-        if jobs > 1 and len(candidates) > 1:
+        if self.tuner is not None and candidates:
+            # Calibration races and backend/jobs decisions: the tuner may
+            # switch the (bit-identical) backend or force a serial batch, so
+            # the measurement/decision happens before dispatch.
+            self.tuner.tune_engine(self, len(candidates))
+            jobs = self.tuner.effective_jobs(
+                jobs, len(candidates), pool_warm=self._pool is not None
+            )
+        parallel = jobs > 1 and len(candidates) > 1
+        if parallel:
             outcomes = self._evaluate_parallel(
                 candidates, jobs, objective=objective,
                 early_termination=early_termination, best_score=best_score,
@@ -1214,7 +1285,15 @@ class EvaluationEngine:
                 candidates, objective=objective,
                 early_termination=early_termination, best_score=best_score,
             )
-        return BatchResult(outcomes=outcomes, seconds=time.perf_counter() - started)
+        seconds = time.perf_counter() - started
+        if self.tuner is not None and candidates:
+            self.tuner.observe_batch(
+                outcomes,
+                seconds,
+                backend=self.backend_name,
+                jobs=jobs if parallel else 1,
+            )
+        return BatchResult(outcomes=outcomes, seconds=seconds)
 
     def _prepare_batch_stamps(
         self, candidates: Sequence[Dataflow]
@@ -1304,7 +1383,7 @@ class EvaluationEngine:
         # balanced without re-shipping anything heavy.  The pool itself
         # persists across batches (streaming sweeps call this repeatedly), so
         # later batches reuse warm workers; ``close()`` tears it down.
-        chunk = max(1, -(-len(candidates) // (jobs * 4)))
+        chunk = parallel_task_chunk(len(candidates), jobs)
         tasks = [
             list(range(start, min(start + chunk, len(candidates))))
             for start in range(0, len(candidates), chunk)

@@ -46,6 +46,7 @@ class DesignSpaceExplorer:
         backend: str = "auto",
         device: str = "numpy",
         batch_size: int = 64,
+        tune: str | dict | bool | None = "off",
     ):
         self.op = op
         self.arch = arch
@@ -62,6 +63,7 @@ class DesignSpaceExplorer:
             cache=cache,
             backend=backend,
             device=device,
+            tune=tune,
         )
         # Unknown objective names raise here, not at sweep time.
         self.objective_name, self.objective, _ = resolve_objective(objective)
