@@ -10,13 +10,17 @@ Two metrics are compared against the tolerance (default 20%):
 * ``fused_speedup`` — fused-vs-affine measured in the *same* run, which is
   machine-class invariant.
 
-One structural invariant is additionally asserted on the *current* file
+Two structural invariants are additionally asserted on the *current* file
 alone: when the zero-copy benchmark records ``parallel_speedup`` (the
 adaptive ``jobs=2`` path versus serial), a sweep slower than serial beyond
 the 5% timer-noise floor fails outright — the parallel path must never be a
 pessimisation again, whatever the runner class.  (The tuner guarantees this
 structurally by declining a pool the batch cannot amortise, so the ratio
 sits at parity or better; well under parity means the decision logic broke.)
+And when the fleet benchmark records ``fleet_speedup`` (3 replicas versus 1
+with an injected per-lease delay), a ratio under 1.4 fails outright — the
+coordinator's lease dispatch must overlap across replicas, and the injected
+delay makes that ratio machine-class invariant too.
 
 The machine-invariant ratio is the authoritative gate whenever both files
 record it: a regressed ratio fails even on a runner fast enough to keep the
@@ -71,6 +75,31 @@ def compare(name: str, baseline: float, current: float, tolerance: float) -> boo
 
 PARALLEL_NOISE_FLOOR = 0.95
 
+FLEET_BENCHMARK = "fleet_gemm48"
+#: The delay-injected 3-replica dispatch overlap sits near 3x by
+#: construction (6 half-second leases, three in flight); 1.4 leaves ample
+#: noise headroom while still failing any collapse back towards serial
+#: dispatch.
+FLEET_NOISE_FLOOR = 1.4
+
+
+def check_fleet_speedup(current_records: dict[str, dict]) -> bool:
+    """Fleet lease dispatch must overlap across replicas; returns True when
+    sound.  Like the parallel gate, this is structural on the *current* run
+    alone: the injected per-lease delay makes the ratio machine-class
+    invariant, so no baseline comparison is needed."""
+    record = current_records.get(FLEET_BENCHMARK)
+    if record is None or "fleet_speedup" not in record:
+        print(f"no {FLEET_BENCHMARK!r} fleet_speedup in the current run; "
+              "fleet gate skipped")
+        return True
+    speedup = float(record["fleet_speedup"])
+    ok = speedup >= FLEET_NOISE_FLOOR
+    print(f"{FLEET_BENCHMARK}.fleet_speedup: {speedup:.2f} "
+          f"(floor {FLEET_NOISE_FLOOR}) "
+          f"-> {'ok' if ok else 'fleet dispatch no longer overlaps'}")
+    return ok
+
 
 def check_parallel_speedup(current_records: dict[str, dict]) -> bool:
     """The adaptive jobs=2 path must not be slower than serial (modulo timer
@@ -114,6 +143,14 @@ def main(argv=None) -> int:
             "a warm jobs=2 sweep ran slower than serial: the parallel "
             "dispatch path is a pessimisation again; investigate before "
             "merging"
+        )
+        return 1
+
+    if not check_fleet_speedup(current_records):
+        print(
+            "the 3-replica fleet stopped overlapping its lease dispatches: "
+            "leases are being serviced serially again; investigate the "
+            "coordinator's worker scheduling before merging"
         )
         return 1
 

@@ -1,0 +1,53 @@
+"""Shared plumbing for the smoke scripts (service, chaos, fleet).
+
+Importing this module puts the repo's ``src/`` on ``sys.path``, so the smoke
+scripts can be run straight from a checkout (``python scripts/..._smoke.py``)
+with no install step.  The spawn/announce-wait helper wraps
+:func:`repro.sweep.fleet.launch_replica` — the same subprocess plumbing the
+fleet coordinator uses — so the smoke scripts and the production path cannot
+drift.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from typing import Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.sweep import fleet  # noqa: E402 - sys.path set up above
+from repro.sweep.faults import FaultPlan  # noqa: E402
+
+
+def start_server(
+    args: Sequence[str] = (),
+    fault_plan: FaultPlan | None = None,
+    checkpoint_root: str | None = None,
+) -> tuple[subprocess.Popen, str, int, list[str]]:
+    """Spawn ``tenet serve --listen 127.0.0.1:0`` and wait for its bind.
+
+    Returns ``(process, host, port, stderr_lines)``; ``stderr_lines`` keeps
+    growing as the server logs.  ``fault_plan`` arms the subprocess's fault
+    injector via the environment (and any plan inherited from *this* process
+    is dropped either way, so a smoke script running under ``TENET_FAULTS``
+    cannot leak its own faults into the server).
+    """
+    lines: list[str] = []
+    process, host, port = fleet.launch_replica(
+        checkpoint_root=checkpoint_root,
+        args=args,
+        fault_plan=fault_plan,
+        stderr_sink=lines.append,
+        announce_timeout=60.0,
+    )
+    return process, host, port, lines
+
+
+def stop_server(process: subprocess.Popen) -> None:
+    """SIGTERM (graceful drain) then SIGKILL a spawned server."""
+    fleet.stop_replica(process)

@@ -30,17 +30,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import re
-import subprocess
 import sys
 import tempfile
-import threading
 from pathlib import Path
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO_ROOT, "src")
-sys.path.insert(0, SRC)
+from _smoke_util import start_server as _start_server
+from _smoke_util import stop_server
 
 from repro.core.engine import EvaluationEngine, RelationCache  # noqa: E402
 from repro.dse.pruning import pruned_candidates  # noqa: E402
@@ -54,7 +49,7 @@ from repro.sweep import (  # noqa: E402
     load_ranking,
     render_ranking,
 )
-from repro.sweep.faults import FAULTS_ENV, KILL_EXIT_CODE  # noqa: E402
+from repro.sweep.faults import KILL_EXIT_CODE  # noqa: E402
 from repro.tensor.kernels import gemm  # noqa: E402
 
 SHARDS = 4
@@ -64,52 +59,12 @@ REQUEST = {
     "max_candidates": 48,
     "top": 64,
 }
-LISTEN_PATTERN = re.compile(r"listening on ([\d.]+):(\d+)")
 
 
 def start_server(fault_plan: FaultPlan | None = None):
     """Start a real ``tenet serve`` subprocess, optionally armed with faults."""
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
-    env.pop(FAULTS_ENV, None)
-    if fault_plan is not None:
-        env[FAULTS_ENV] = fault_plan.to_json()
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--listen", "127.0.0.1:0"],
-        env=env,
-        stdout=subprocess.DEVNULL,
-        stderr=subprocess.PIPE,
-        text=True,
-    )
-    address: dict[str, tuple[str, int]] = {}
-    announced = threading.Event()
-
-    def pump() -> None:
-        assert process.stderr is not None
-        for line in process.stderr:
-            match = LISTEN_PATTERN.search(line)
-            if match:
-                address["bound"] = (match.group(1), int(match.group(2)))
-                announced.set()
-        announced.set()
-
-    threading.Thread(target=pump, daemon=True).start()
-    if not announced.wait(60) or "bound" not in address:
-        process.kill()
-        raise AssertionError("server never announced its address")
-    host, port = address["bound"]
+    process, host, port, _ = _start_server(fault_plan=fault_plan)
     return process, host, port
-
-
-def stop_server(process: subprocess.Popen) -> None:
-    if process.poll() is None:
-        process.terminate()
-        try:
-            process.wait(60)
-        except subprocess.TimeoutExpired:
-            process.kill()
-            process.wait(30)
 
 
 def shard_requests() -> list[dict]:

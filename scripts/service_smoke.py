@@ -17,69 +17,21 @@ Run locally with ``python scripts/service_smoke.py`` from the repo root
 
 from __future__ import annotations
 
-import os
-import re
 import signal
-import subprocess
 import sys
 import threading
 import time
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO_ROOT, "src")
-sys.path.insert(0, SRC)
+from _smoke_util import start_server
 
-from repro.sweep import SweepClient  # noqa: E402 - sys.path set up above
+from repro.sweep import SweepClient  # noqa: E402 - sys.path set by _smoke_util
 
 PIPELINE_DEPTH = 8
 REQUEST = {"kernel": "gemm", "sizes": [16, 16, 16], "max_candidates": 6}
-LISTEN_PATTERN = re.compile(r"listening on ([\d.]+):(\d+)")
-
-
-def start_server() -> tuple[subprocess.Popen, str, int, list[str]]:
-    env = dict(os.environ)
-    existing = env.get("PYTHONPATH")
-    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
-    process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "serve",
-            "--listen",
-            "127.0.0.1:0",
-            "--max-inflight",
-            "1",
-        ],
-        env=env,
-        stdout=subprocess.DEVNULL,
-        stderr=subprocess.PIPE,
-        text=True,
-    )
-    stderr_lines: list[str] = []
-    address: dict[str, tuple[str, int]] = {}
-    announced = threading.Event()
-
-    def pump() -> None:
-        assert process.stderr is not None
-        for line in process.stderr:
-            stderr_lines.append(line)
-            match = LISTEN_PATTERN.search(line)
-            if match:
-                address["bound"] = (match.group(1), int(match.group(2)))
-                announced.set()
-        announced.set()
-
-    threading.Thread(target=pump, daemon=True).start()
-    if not announced.wait(60) or "bound" not in address:
-        process.kill()
-        raise AssertionError(f"server never announced its address: {stderr_lines}")
-    host, port = address["bound"]
-    return process, host, port, stderr_lines
 
 
 def main() -> int:
-    process, host, port, stderr_lines = start_server()
+    process, host, port, stderr_lines = start_server(args=["--max-inflight", "1"])
     try:
         done_at: dict[str, float] = {}
         errors: list[BaseException] = []

@@ -48,8 +48,11 @@ from repro.experiments import (
 )
 from repro.experiments.common import make_arch
 from repro.sweep import (
+    FleetCoordinator,
+    format_announce,
     iter_lines,
     load_ranking,
+    parse_attach,
     parse_listen,
     parse_shard,
     render_ranking,
@@ -249,9 +252,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = parse_listen(args.listen)
 
         def announce(bound_host: str, bound_port: int) -> None:
-            # Parsed by clients and the CI smoke script to discover an
-            # ephemeral (port 0) bind; keep the format stable.
-            print(f"tenet serve: listening on {bound_host}:{bound_port}",
+            # Parsed by the fleet coordinator and the CI smoke scripts to
+            # discover an ephemeral (port 0) bind; the format lives in
+            # repro.sweep.net next to its parser so they cannot drift.
+            print(format_announce(bound_host, bound_port),
                   file=sys.stderr, flush=True)
 
         served = run_tcp_server(
@@ -266,6 +270,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             request_timeout=args.request_timeout,
             tune="auto" if args.tune else "off",
+            checkpoint_root=args.checkpoint_root,
             announce=announce,
         )
         print(f"served {served} sweep request(s)", file=sys.stderr)
@@ -288,6 +293,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_depth=args.queue_depth,
             request_timeout=args.request_timeout,
             tune="auto" if args.tune else "off",
+            checkpoint_root=args.checkpoint_root,
         )
     finally:
         if stream is not sys.stdin:
@@ -302,6 +308,52 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
         print("(no evaluated candidates in the given checkpoints)")
         return 1
     print(render_ranking(ranking, top=args.top))
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if len(args.pe) != 2:
+        print("tenet fleet: error: --pe takes exactly two extents (rows cols), "
+              f"got {args.pe}", file=sys.stderr)
+        return 1
+    request = {
+        "kernel": args.kernel,
+        "sizes": list(args.sizes),
+        "objective": args.objective,
+        "pe": list(args.pe),
+        "interconnect": args.interconnect,
+        "bandwidth": args.bandwidth,
+        "max_candidates": args.max_candidates,
+        "top": args.top,
+    }
+    if args.early_termination:
+        request["early_termination"] = True
+    try:
+        attach = parse_attach(args.attach) if args.attach else []
+        if args.shards is not None:
+            shards = args.shards
+        else:
+            # 2x oversharding by default: losing a replica mid-lease costs at
+            # most one lease of progress, and stragglers rebalance.
+            shards = max(1, 2 * (args.replicas + len(attach)))
+        coordinator = FleetCoordinator(
+            request,
+            shards=shards,
+            checkpoint_dir=args.checkpoint_dir,
+            replicas=args.replicas,
+            attach=attach,
+            replica_args=[a for a in args.replica_args if a != "--"],
+            lease_timeout=args.lease_timeout,
+            heartbeat_interval=args.heartbeat_interval,
+            max_consecutive_failures=args.max_failures,
+        )
+        result = coordinator.run()
+    except ExplorationError as error:
+        # FleetError included: all-replicas-evicted leaves the lease
+        # checkpoints on disk, so the same command resumes the fleet.
+        print(f"tenet fleet: error: {error}", file=sys.stderr)
+        return 1
+    print(result.summary(count=args.top))
     return 0
 
 
@@ -450,7 +502,62 @@ def build_parser() -> argparse.ArgumentParser:
                             "measurements, and shed load when the measured "
                             "request rate predicts hopeless queue waits; "
                             "results are bit-identical either way")
+    serve.add_argument("--checkpoint-root", default=None, metavar="DIR",
+                       help="directory for server-side JSONL sweep checkpoints; "
+                            "requests may then name a checkpoint (relative, "
+                            "confined to this directory) and resume it — how "
+                            "fleet replicas make leases durable (default: "
+                            "checkpointed requests are refused)")
     serve.set_defaults(handler=_cmd_serve)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="drive one sweep across N serve replicas as M checkpointed shard "
+             "leases with work stealing (bit-identical to a single-node run)",
+    )
+    fleet.add_argument("--kernel", required=True,
+                       help="gemm, conv2d, mttkrp, mmc, jacobi2d, conv1d")
+    fleet.add_argument("--sizes", type=int, nargs="+", required=True,
+                       help="loop extents, e.g. 64 64 64 for GEMM")
+    fleet.add_argument("--pe", type=int, nargs="+", default=[8, 8])
+    fleet.add_argument("--interconnect", default="2d-systolic")
+    fleet.add_argument("--bandwidth", type=float, default=128.0)
+    fleet.add_argument("--objective", default="latency", choices=sorted(OBJECTIVES))
+    fleet.add_argument("--max-candidates", type=int, default=64,
+                       help="cap on generated candidate dataflows")
+    fleet.add_argument("--top", type=int, default=5,
+                       help="how many best dataflows each lease reports and "
+                            "the merged summary prints")
+    fleet.add_argument("--early-termination", action="store_true",
+                       help="see 'tenet explore --early-termination'")
+    fleet.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="spawn N local 'tenet serve --listen' replicas "
+                            "sharing --checkpoint-dir (torn down at exit)")
+    fleet.add_argument("--attach", default=None, metavar="HOST:PORT,...",
+                       help="drive these already-running replicas instead of "
+                            "(or in addition to) spawning; they must have been "
+                            "started with --checkpoint-root --checkpoint-dir")
+    fleet.add_argument("--shards", type=int, default=None, metavar="M",
+                       help="partition the candidate space into M leases "
+                            "(default: 2x the replica count, so a slow replica "
+                            "cannot stall more than half the work)")
+    fleet.add_argument("--checkpoint-dir", required=True, metavar="DIR",
+                       help="shared directory for per-lease JSONL checkpoints; "
+                            "re-running the same fleet command resumes from it")
+    fleet.add_argument("--lease-timeout", type=float, default=600.0, metavar="SECS",
+                       help="a lease unanswered this long is revoked and "
+                            "re-issued to another replica")
+    fleet.add_argument("--heartbeat-interval", type=float, default=2.0,
+                       metavar="SECS",
+                       help="stats-poll heartbeat period for replica health "
+                            "tracking (0 disables the monitor)")
+    fleet.add_argument("--max-failures", type=int, default=2, metavar="N",
+                       help="consecutive lease or heartbeat failures before a "
+                            "replica is evicted")
+    fleet.add_argument("--replica-args", nargs=argparse.REMAINDER, default=[],
+                       help="remaining arguments are passed to each spawned "
+                            "'tenet serve' (e.g. -- --jobs 2 --tune)")
+    fleet.set_defaults(handler=_cmd_fleet)
 
     merge = subparsers.add_parser(
         "sweep-merge",

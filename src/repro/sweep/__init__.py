@@ -21,6 +21,10 @@ caller (explorer, experiment drivers, CLI) into four shared pieces:
 * :mod:`repro.sweep.client` — :class:`SweepClient`: a small blocking client
   for the networked service (round trips, pipelining, backoff/deadline
   retries, pipeline recovery after a drop).
+* :mod:`repro.sweep.fleet` — :class:`FleetCoordinator`: the ``tenet fleet``
+  orchestrator — N serve replicas, M shard leases with per-lease JSONL
+  checkpoints, work stealing that resumes a revoked lease from its last
+  durable record, and a bit-identical final merge.
 * :mod:`repro.sweep.faults` — :class:`FaultPlan`/:class:`FaultInjector`:
   seeded, deterministic fault injection (connection drops, delays, torn
   lines, server kills, engine-build failures, checkpoint truncation) at hook
@@ -34,6 +38,13 @@ from repro.sweep.faults import (
     InjectedDisconnect,
     InjectedFault,
 )
+from repro.sweep.fleet import (
+    FleetCoordinator,
+    FleetError,
+    FleetResult,
+    launch_replica,
+    parse_attach,
+)
 from repro.sweep.source import (
     CandidateSource,
     parse_shard,
@@ -45,6 +56,7 @@ from repro.sweep.sinks import (
     RankEntry,
     ResultSink,
     TopKSink,
+    clone_checkpoint,
     load_ranking,
     render_ranking,
     report_record,
@@ -54,7 +66,9 @@ from repro.sweep.server import EngineQuarantinedError, SweepRequest, SweepServer
 from repro.sweep.net import (
     RequestTimeout,
     SweepService,
+    format_announce,
     iter_lines,
+    parse_announce,
     parse_listen,
     run_tcp_server,
     serve_lines,
@@ -78,9 +92,15 @@ __all__ = [
     "TopKSink",
     "JsonlCheckpointSink",
     "RankEntry",
+    "clone_checkpoint",
     "load_ranking",
     "render_ranking",
     "report_record",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetResult",
+    "launch_replica",
+    "parse_attach",
     "SweepSession",
     "SweepResult",
     "SweepRequest",
@@ -91,4 +111,6 @@ __all__ = [
     "run_tcp_server",
     "iter_lines",
     "parse_listen",
+    "format_announce",
+    "parse_announce",
 ]

@@ -127,6 +127,23 @@ class SweepClient:
         self._drop_connection()
         self._pending.clear()
 
+    def abort(self) -> None:
+        """Unblock a blocking :meth:`request` from another thread.
+
+        Only shuts the socket down — never closes it: ``close()`` from a
+        foreign thread races the owning thread's reads, while ``shutdown``
+        makes a blocked ``readline`` return EOF so the owning thread surfaces
+        an ordinary :class:`ConnectionError` and runs its own cleanup.  The
+        fleet coordinator uses this to revoke an in-flight lease from an
+        evicted replica without waiting out the lease timeout.
+        """
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
     def __enter__(self) -> "SweepClient":
         return self.connect()
 

@@ -48,6 +48,7 @@ import contextlib
 import functools
 import itertools
 import json
+import re
 import signal
 import time
 from collections import deque
@@ -87,6 +88,25 @@ def parse_listen(spec: str) -> tuple[str, int]:
     if not 0 <= port <= 65535:
         raise ExplorationError(f"--listen port must be in [0, 65535], got {port}")
     return host or "127.0.0.1", port
+
+
+#: The stderr line a listening server prints once bound; clients, smoke
+#: scripts and the fleet coordinator all discover ephemeral (port 0) binds by
+#: parsing it, so the format lives here — one definition, one regex.
+_ANNOUNCE_PATTERN = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+def format_announce(host: str, port: int) -> str:
+    """The announce line ``tenet serve --listen`` prints for a bound address."""
+    return f"tenet serve: listening on {host}:{port}"
+
+
+def parse_announce(line: str) -> tuple[str, int] | None:
+    """Extract ``(host, port)`` from an announce line; ``None`` when absent."""
+    match = _ANNOUNCE_PATTERN.search(line)
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2))
 
 
 def iter_lines(stream: TextIO) -> Iterator[str]:
@@ -269,6 +289,7 @@ class SweepService:
         fault_injector: FaultInjector | None = None,
         tune: str | dict | bool | None = "off",
         shed_after_seconds: float | None = None,
+        checkpoint_root: str | None = None,
     ):
         self._faults = fault_injector
         self.tune_enabled = tune not in (None, False, "off")
@@ -281,6 +302,7 @@ class SweepService:
                 max_workers=max_workers,
                 fault_injector=fault_injector,
                 tune=tune,
+                checkpoint_root=checkpoint_root,
             )
             self._owns_server = True
         else:
@@ -777,6 +799,7 @@ def serve_lines(
     queue_depth: int = 64,
     request_timeout: float | None = None,
     tune: str | dict | bool | None = "off",
+    checkpoint_root: str | None = None,
     emit: Callable[[str], None] | None = None,
 ) -> int:
     """The stdio ``tenet serve`` loop: JSON requests in, JSON results out.
@@ -800,6 +823,7 @@ def serve_lines(
             queue_depth=queue_depth,
             request_timeout=request_timeout,
             tune=tune,
+            checkpoint_root=checkpoint_root,
         )
         channel = IterableChannel(lines, emit)
         try:
@@ -823,6 +847,7 @@ def run_tcp_server(
     queue_depth: int = 64,
     request_timeout: float | None = None,
     tune: str | dict | bool | None = "off",
+    checkpoint_root: str | None = None,
     announce: Callable[[str, int], None] | None = None,
 ) -> int:
     """Run ``tenet serve --listen``: serve TCP until SIGTERM/SIGINT, drain, exit.
@@ -841,6 +866,7 @@ def run_tcp_server(
             queue_depth=queue_depth,
             request_timeout=request_timeout,
             tune=tune,
+            checkpoint_root=checkpoint_root,
         )
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -60,6 +61,14 @@ class SweepRequest:
     early_termination: bool = False
     shard: tuple[int, int] | None = None
     top: int = 5
+    #: Server-side JSONL checkpoint, named *relative to* the server's
+    #: ``checkpoint_root`` (requests cannot write outside it).  With
+    #: ``resume=True`` recorded signatures are skipped — the fleet
+    #: coordinator's lease re-issue path.  Resume of a missing or empty
+    #: checkpoint is simply a fresh sweep, so re-issued leases always send
+    #: ``resume=True``.
+    checkpoint: str | None = None
+    resume: bool = False
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepRequest":
@@ -80,6 +89,12 @@ class SweepRequest:
                     f"sweep request field {field_name!r} must be a list of "
                     f"integers, got {value!r}"
                 )
+        checkpoint = data.get("checkpoint")
+        if checkpoint is not None and not isinstance(checkpoint, str):
+            raise ExplorationError(
+                f"sweep request field 'checkpoint' must be a relative path "
+                f"string, got {checkpoint!r}"
+            )
         request = cls(**data)
         request.sizes = tuple(int(s) for s in request.sizes)
         request.pe = tuple(int(p) for p in request.pe)
@@ -149,6 +164,7 @@ class SweepServer:
         quarantine_cooldown: float = 30.0,
         fault_injector: FaultInjector | None = None,
         tune: str | dict | bool | None = "off",
+        checkpoint_root: str | Path | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.backend = backend
@@ -164,6 +180,12 @@ class SweepServer:
         #: Warm engines kept resident; least-recently-used idle engines are
         #: evicted past this, bounding a long-lived server's report memos.
         self.max_engines = max(1, int(max_engines))
+        #: Directory request-scoped checkpoints resolve under; ``None``
+        #: (the default) refuses checkpointed requests entirely, so a server
+        #: never writes files unless an operator opted in.
+        self.checkpoint_root = (
+            str(Path(checkpoint_root)) if checkpoint_root is not None else None
+        )
         #: One relation cache for the whole server: engines of different
         #: architectures over the same operation share its relations.
         self.cache = cache if cache is not None else RelationCache(max_entries=8)
@@ -338,12 +360,53 @@ class SweepServer:
         self, warm: "_WarmEngine", request: SweepRequest, source, reused: bool
     ) -> tuple[SweepResult, bool]:
         result = self._serve(
-            warm, source, request.objective, request.early_termination, request.shard
+            warm,
+            source,
+            request.objective,
+            request.early_termination,
+            request.shard,
+            checkpoint=request.checkpoint,
+            resume=request.resume,
         )
         return result, reused
 
-    def _serve(self, warm, candidates, objective, early_termination, shard):
+    def _resolve_checkpoint(self, checkpoint: str) -> str:
+        """Validate a request's checkpoint name against the server root.
+
+        Requests name checkpoints relative to ``checkpoint_root``; a server
+        without a root refuses them, and a name that escapes the root (``..``,
+        absolute paths, symlinked parents) is rejected before anything is
+        opened.
+        """
+        if self.checkpoint_root is None:
+            raise ExplorationError(
+                "this server has no checkpoint root; start it with "
+                "--checkpoint-root DIR to accept checkpointed sweep requests"
+            )
+        root = Path(self.checkpoint_root).resolve()
+        path = (root / checkpoint).resolve()
+        if path == root or root not in path.parents:
+            raise ExplorationError(
+                f"checkpoint {checkpoint!r} escapes the server checkpoint "
+                f"root {self.checkpoint_root!r}; use a relative path inside it"
+            )
+        return str(path)
+
+    def _serve(
+        self,
+        warm,
+        candidates,
+        objective,
+        early_termination,
+        shard,
+        *,
+        checkpoint: str | None = None,
+        resume: bool = False,
+    ):
         """One sweep on a reserved warm engine (serialised per engine)."""
+        checkpoint_path = (
+            self._resolve_checkpoint(checkpoint) if checkpoint is not None else None
+        )
         with warm.lock:
             # Chaos hook: a ``kill`` here crashes the process mid-batch (the
             # chaos smoke's seeded server crash); a ``delay`` simulates a
@@ -361,6 +424,9 @@ class SweepServer:
                 objective=objective,
                 batch_size=batch_size,
                 early_termination=early_termination,
+                checkpoint=checkpoint_path,
+                resume=resume,
+                fault_injector=self._faults,
             )
             return session.run(candidates, shard=shard)
 
@@ -390,6 +456,9 @@ def result_record(request: SweepRequest, result: SweepResult, reused: bool) -> d
         "evaluated": result.evaluated_count,
         "invalid": len(result.failures),
         "pruned": len(result.pruned),
+        # Candidates restored from a resumed request-scoped checkpoint (the
+        # fleet coordinator asserts a stolen lease really resumed).
+        "skipped": result.skipped,
         "shard": list(result.shard) if result.shard else None,
         "seconds": round(result.seconds, 4),
         "candidates_per_second": round(result.throughput, 2),

@@ -328,6 +328,43 @@ class JsonlCheckpointSink(ResultSink):
             self._handle = None
 
 
+def clone_checkpoint(source: str | Path, dest: str | Path) -> int:
+    """Copy a (possibly still-live) checkpoint's complete lines to ``dest``.
+
+    Work stealing: the coordinator clones a revoked lease's checkpoint — whose
+    original writer may be slow rather than dead, and still appending — into a
+    fresh *generation* file, so the re-issued lease resumes from a file with
+    exactly one writer.  Everything past the last newline is trimmed (complete
+    lines only), mirroring the torn-line tolerance of the resume path, and the
+    clone lands atomically (tmp + ``os.replace``) so a crashed steal leaves no
+    half-copied checkpoint.
+
+    Returns the number of result records cloned; a missing source — a lease
+    that died before its header — clones nothing and returns 0 (resuming the
+    absent file is then simply a fresh sweep).
+    """
+    source, dest = Path(source), Path(dest)
+    try:
+        data = source.read_bytes()
+    except FileNotFoundError:
+        return 0
+    data = data[: data.rfind(b"\n") + 1]
+    if not data:
+        return 0
+    records = 0
+    for line in data.splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and record.get("kind") == "result":
+            records += 1
+    tmp_path = dest.with_name(dest.name + ".tmp")
+    tmp_path.write_bytes(data)
+    os.replace(tmp_path, dest)
+    return records
+
+
 def load_ranking(paths: Sequence[str | Path] | str | Path) -> list[RankEntry]:
     """Merge checkpoint files into one ranking, bit-identical to an unsharded run.
 
